@@ -1,0 +1,57 @@
+// Command mipsx-asm assembles MIPS-X assembly and prints a listing
+// (address, encoded word, disassembly), optionally after running the code
+// reorganizer so the effect of delay-slot filling is visible.
+//
+// Usage:
+//
+//	mipsx-asm prog.s
+//	mipsx-asm -reorg -slots 2 -squash optional prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/reorg"
+)
+
+func main() {
+	doReorg := flag.Bool("reorg", false, "run the code reorganizer before assembling")
+	slots := flag.Int("slots", 2, "branch delay slots (1 or 2)")
+	squash := flag.String("squash", "optional", "squash mode: none, always, optional")
+	base := flag.Uint("base", 0, "load address (words)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mipsx-asm [flags] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mipsx-asm:", err)
+		os.Exit(1)
+	}
+	stmts, err := asm.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mipsx-asm:", err)
+		os.Exit(1)
+	}
+	if *doReorg {
+		mode := map[string]reorg.SquashMode{
+			"none": reorg.NoSquash, "always": reorg.AlwaysSquash, "optional": reorg.SquashOptional,
+		}
+		m, ok := mode[*squash]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mipsx-asm: bad squash mode %q\n", *squash)
+			os.Exit(2)
+		}
+		stmts = reorg.Reorganize(stmts, reorg.Scheme{Slots: *slots, Squash: m}, nil)
+	}
+	im, err := asm.Assemble(stmts, uint32(*base))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mipsx-asm:", err)
+		os.Exit(1)
+	}
+	fmt.Print(asm.Listing(im))
+}

@@ -1,0 +1,57 @@
+// Command mipsx-bench regenerates the paper's evaluation: every table,
+// figure and quantitative claim, printed in paper-style rows alongside the
+// paper's own numbers (see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	mipsx-bench            # run every experiment
+//	mipsx-bench -only E1   # run a single experiment by id
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run only the experiment with this id (E1..E10)")
+	flag.Parse()
+
+	type exp struct {
+		id string
+		fn func() (*experiments.Table, error)
+	}
+	exps := []exp{
+		{"E1", experiments.Table1BranchSchemes},
+		{"E2", experiments.IcacheDesign},
+		{"E3", experiments.BranchConditionStats},
+		{"E4", experiments.BranchCacheVsStatic},
+		{"E5", experiments.CoprocessorSchemes},
+		{"E6", experiments.SustainedThroughput},
+		{"E7", experiments.VAXComparison},
+		{"E8", experiments.ExceptionHandling},
+		{"E9", experiments.MemoryBandwidth},
+		{"E10", experiments.EcacheAblations},
+		{"E11", experiments.MultiprocessorScaling},
+	}
+	ran := 0
+	for _, e := range exps {
+		if *only != "" && e.id != *only {
+			continue
+		}
+		tb, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mipsx-bench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tb)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "mipsx-bench: unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,115 @@
+// Command mipsx-run executes a program on the full MIPS-X system (pipeline
+// + on-chip Icache + external cache) and reports the run's statistics.
+//
+// Inputs are either MIPS-X assembly (.s — already scheduled, run as-is) or
+// tinyc source (-tiny — compiled, reorganized and assembled first).
+//
+// Usage:
+//
+//	mipsx-run prog.s
+//	mipsx-run -tiny prog.t
+//	mipsx-run -tiny -profile prog.t       # two-pass profile feedback
+//	mipsx-run -stats -check prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/reorg"
+	"repro/internal/tinyc"
+	"repro/internal/trace"
+)
+
+func main() {
+	tiny := flag.Bool("tiny", false, "input is tinyc source (compile + reorganize)")
+	profile := flag.Bool("profile", false, "with -tiny: rebuild with branch profile feedback")
+	stats := flag.Bool("stats", false, "print run statistics")
+	check := flag.Bool("check", false, "enable the software-interlock hazard checker")
+	maxCycles := flag.Uint64("max-cycles", 100_000_000, "cycle limit")
+	pipe := flag.Int("pipe", 0, "print the first N cycles of pipeline occupancy")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mipsx-run [flags] prog.{s,t}")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+
+	var im *asm.Image
+	if *tiny {
+		im, err = tinyc.Build(string(src), reorg.Default(), nil)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		im, err = asm.AssembleSource(string(src), 0)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Pipeline.CheckHazards = *check
+
+	if *tiny && *profile {
+		// First pass: collect branch outcomes; second pass: rebuild.
+		m := core.New(cfg, os.Stdout)
+		m.Load(im)
+		var rec trace.Recorder
+		rec.KeepInstrs = 1
+		rec.Attach(m.CPU)
+		if _, err := m.Run(*maxCycles); err != nil {
+			fail(err)
+		}
+		prof := trace.Profile(im, rec.Branches)
+		im, err = tinyc.Build(string(src), reorg.Default(), prof)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("-- profiled rebuild --")
+	}
+
+	m := core.New(cfg, os.Stdout)
+	m.Load(im)
+	for i := 0; i < *pipe && !m.Console.Halted; i++ {
+		fmt.Println(m.CPU.Snapshot())
+		m.CPU.Step()
+	}
+	cycles, err := m.Run(*maxCycles)
+	if err != nil {
+		fail(err)
+	}
+	if *check {
+		for _, v := range m.CPU.Violations {
+			fmt.Fprintf(os.Stderr, "hazard: %v\n", v)
+		}
+	}
+	if *stats {
+		s := m.Stats()
+		p := s.Pipeline
+		fmt.Printf("cycles            %d\n", cycles)
+		fmt.Printf("instructions      %d (nops %d, squashed %d)\n", p.Issued(), p.Nops, p.Squashed)
+		fmt.Printf("CPI               %.3f\n", s.CPI())
+		fmt.Printf("no-op fraction    %.1f%%\n", 100*p.NopFraction())
+		fmt.Printf("branches          %d (taken %d, cycles/branch %.2f)\n",
+			p.Branches, p.TakenBranches, p.CyclesPerBranch())
+		fmt.Printf("loads/stores      %d/%d\n", p.Loads, p.Stores)
+		fmt.Printf("icache            %.1f%% miss, %d stall cycles\n",
+			100*s.Icache.MissRatio(), s.Icache.StallCycles)
+		fmt.Printf("ecache            %.1f%% miss, %d stall cycles\n",
+			100*s.Ecache.MissRatio(), s.Ecache.StallCycles)
+		fmt.Printf("ifetch cost       %.3f cycles\n", s.IfetchCost())
+		fmt.Printf("sustained MIPS    %.2f @ %.0f MHz\n", s.SustainedMIPS(), core.ClockMHz)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mipsx-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command mipsx-trace generates synthetic large-program instruction traces
+// (the stand-ins for the Stanford benchmark and ATUM traces) and runs them
+// against configurable Icache and Ecache organizations — the trace-driven
+// methodology behind the paper's cache numbers.
+//
+// Usage:
+//
+//	mipsx-trace -profile pascal -refs 300000
+//	mipsx-trace -profile lisp -fetchback 1 -penalty 3
+//	mipsx-trace -profile fp -dump 50          # show the first 50 addresses
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ecache"
+	"repro/internal/icache"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func main() {
+	profile := flag.String("profile", "pascal", "workload profile: pascal, lisp, fp")
+	codeKW := flag.Int("code-kwords", 0, "static code footprint in K words (0 = profile default)")
+	refs := flag.Int("refs", 300_000, "trace length in instruction references")
+	fetchBack := flag.Int("fetchback", 2, "words fetched per Icache miss")
+	penalty := flag.Int("penalty", 2, "Icache miss service cycles")
+	dump := flag.Int("dump", 0, "print the first N trace addresses and exit")
+	flag.Parse()
+
+	var cfg trace.SynthConfig
+	switch *profile {
+	case "pascal":
+		cfg = trace.PascalSynth(*codeKW * 1024)
+	case "lisp":
+		cfg = trace.LispSynth(*codeKW * 1024)
+	case "fp":
+		cfg = trace.FPSynth(*codeKW * 1024)
+	default:
+		fmt.Fprintf(os.Stderr, "mipsx-trace: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	tr := trace.NewSynthesizer(cfg).Generate(*refs)
+
+	if *dump > 0 {
+		n := *dump
+		if n > len(tr) {
+			n = len(tr)
+		}
+		for _, a := range tr[:n] {
+			fmt.Printf("%06x\n", a)
+		}
+		return
+	}
+
+	icfg := icache.DefaultConfig()
+	icfg.FetchBack = *fetchBack
+	icfg.MissPenalty = *penalty
+	m := mem.New()
+	bus := mem.DefaultBus()
+	e := ecache.New(ecache.DefaultConfig(), m, bus)
+	ic := icache.New(icfg, e)
+	for _, a := range tr {
+		ic.Fetch(a)
+	}
+
+	fmt.Printf("profile          %s (%d words static code)\n", *profile, cfg.CodeWords)
+	fmt.Printf("references       %d\n", len(tr))
+	fmt.Printf("icache           %d sets × %d ways × %d words, fetch-back %d, %d-cycle miss\n",
+		icfg.Sets, icfg.Ways, icfg.BlockWords, icfg.FetchBack, icfg.MissPenalty)
+	fmt.Printf("icache miss      %.2f%%\n", 100*ic.Stats.MissRatio())
+	fmt.Printf("ifetch cost      %.3f cycles (icache stalls only)\n",
+		1+float64(ic.Stats.StallCycles)/float64(ic.Stats.Fetches))
+	fmt.Printf("ecache miss      %.2f%% (%d accesses)\n",
+		100*e.Stats.MissRatio(), e.Stats.Accesses())
+	fmt.Printf("bus traffic      %d words\n", bus.WordsCarried)
+}

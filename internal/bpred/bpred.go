@@ -1,0 +1,146 @@
+// Package bpred implements the two branch-prediction mechanisms the paper
+// weighed for reducing the effective branch delay: static prediction (what
+// MIPS-X shipped) and a branch cache (branch target buffer), which "was
+// quickly discarded when we discovered that it had to be fairly large (much
+// greater than 16 entries) to get a high hit rate ... Besides, it never did
+// much better than static prediction and was much more complex."
+package bpred
+
+import (
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Predictor predicts branch direction from a dynamic branch stream.
+type Predictor interface {
+	Name() string
+	// Predict returns the predicted direction for the branch at pc, before
+	// seeing the outcome.
+	Predict(e trace.BranchEvent) bool
+	// Update trains the predictor with the actual outcome.
+	Update(e trace.BranchEvent)
+}
+
+// Static is compile-time prediction: backward branches (loops) are
+// predicted taken, forward branches not taken. No hardware state at all.
+type Static struct{}
+
+// Name implements Predictor.
+func (Static) Name() string { return "static" }
+
+// Predict implements Predictor.
+func (Static) Predict(e trace.BranchEvent) bool { return e.Backward }
+
+// Update implements Predictor.
+func (Static) Update(trace.BranchEvent) {}
+
+// StaticProfile is static prediction with profile feedback: each branch is
+// predicted in its majority direction. It is evaluated with a prior
+// training pass, the way the reorganizer consumes profiles.
+type StaticProfile struct {
+	bias map[isa.Word]int // >0 mostly taken
+}
+
+// NewStaticProfile trains on a branch stream.
+func NewStaticProfile(events []trace.BranchEvent) *StaticProfile {
+	p := &StaticProfile{bias: make(map[isa.Word]int)}
+	for _, e := range events {
+		if e.Taken {
+			p.bias[e.PC]++
+		} else {
+			p.bias[e.PC]--
+		}
+	}
+	return p
+}
+
+// Name implements Predictor.
+func (p *StaticProfile) Name() string { return "static+profile" }
+
+// Predict implements Predictor.
+func (p *StaticProfile) Predict(e trace.BranchEvent) bool {
+	if b, ok := p.bias[e.PC]; ok {
+		return b > 0
+	}
+	return e.Backward
+}
+
+// Update implements Predictor.
+func (p *StaticProfile) Update(trace.BranchEvent) {}
+
+// BranchCache is the branch-cache alternative: a direct-mapped table of
+// recently seen branches recording their last direction (1-bit history).
+// A miss in the cache falls back to predicting not-taken (the hardware has
+// no displacement information before decode).
+type BranchCache struct {
+	entries int
+	tags    []isa.Word
+	valid   []bool
+	taken   []bool
+
+	Hits, Misses uint64
+}
+
+// NewBranchCache builds a branch cache with the given entry count (a power
+// of two).
+func NewBranchCache(entries int) *BranchCache {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bpred: entries must be a positive power of two")
+	}
+	return &BranchCache{
+		entries: entries,
+		tags:    make([]isa.Word, entries),
+		valid:   make([]bool, entries),
+		taken:   make([]bool, entries),
+	}
+}
+
+// Name implements Predictor.
+func (b *BranchCache) Name() string { return "branch cache" }
+
+func (b *BranchCache) slot(pc isa.Word) int { return int(pc) & (b.entries - 1) }
+
+// Predict implements Predictor.
+func (b *BranchCache) Predict(e trace.BranchEvent) bool {
+	i := b.slot(e.PC)
+	if b.valid[i] && b.tags[i] == e.PC {
+		b.Hits++
+		return b.taken[i]
+	}
+	b.Misses++
+	return false
+}
+
+// Update implements Predictor.
+func (b *BranchCache) Update(e trace.BranchEvent) {
+	i := b.slot(e.PC)
+	b.tags[i] = e.PC
+	b.valid[i] = true
+	b.taken[i] = e.Taken
+}
+
+// HitRate returns the fraction of predictions that found their branch in
+// the cache.
+func (b *BranchCache) HitRate() float64 {
+	t := b.Hits + b.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Hits) / float64(t)
+}
+
+// Accuracy runs a predictor over a branch stream and returns the fraction
+// predicted correctly.
+func Accuracy(p Predictor, events []trace.BranchEvent) float64 {
+	if len(events) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, e := range events {
+		if p.Predict(e) == e.Taken {
+			correct++
+		}
+		p.Update(e)
+	}
+	return float64(correct) / float64(len(events))
+}

@@ -1,0 +1,126 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// synthBranches builds a branch stream with b static branches: loops
+// (backward, mostly taken) and conditionals (forward, biased per branch).
+func synthBranches(n, static int, seed int64) []trace.BranchEvent {
+	rng := rand.New(rand.NewSource(seed))
+	type site struct {
+		pc       isa.Word
+		backward bool
+		pTaken   float64
+	}
+	sites := make([]site, static)
+	for i := range sites {
+		s := site{pc: isa.Word(i * 37)}
+		if rng.Float64() < 0.45 { // loop branch
+			s.backward = true
+			s.pTaken = 0.85 + rng.Float64()*0.13
+		} else {
+			s.pTaken = rng.Float64() * 0.6
+		}
+		sites[i] = s
+	}
+	// Zipf-ish reuse: a few sites dominate the dynamic stream.
+	out := make([]trace.BranchEvent, n)
+	for i := range out {
+		var s site
+		if rng.Float64() < 0.7 {
+			s = sites[rng.Intn(1+static/8)]
+		} else {
+			s = sites[rng.Intn(static)]
+		}
+		out[i] = trace.BranchEvent{PC: s.pc, Backward: s.backward, Taken: rng.Float64() < s.pTaken}
+	}
+	return out
+}
+
+func TestStaticPredictsLoopsWell(t *testing.T) {
+	events := synthBranches(50000, 40, 1)
+	acc := Accuracy(Static{}, events)
+	if acc < 0.60 || acc > 0.95 {
+		t.Fatalf("static accuracy %.3f outside plausible band", acc)
+	}
+}
+
+func TestProfileBeatsPlainStatic(t *testing.T) {
+	events := synthBranches(50000, 40, 2)
+	plain := Accuracy(Static{}, events)
+	prof := Accuracy(NewStaticProfile(events), events)
+	if prof < plain {
+		t.Fatalf("profile (%.3f) should not lose to heuristic (%.3f)", prof, plain)
+	}
+}
+
+func TestBranchCacheNeedsManyEntries(t *testing.T) {
+	// The paper's finding: a 16-entry branch cache is not enough; the hit
+	// rate keeps climbing well past 16 entries when the working set of
+	// branches is program-sized.
+	events := synthBranches(80000, 256, 3)
+	var hit16, hit256 float64
+	{
+		bc := NewBranchCache(16)
+		Accuracy(bc, events)
+		hit16 = bc.HitRate()
+	}
+	{
+		bc := NewBranchCache(256)
+		Accuracy(bc, events)
+		hit256 = bc.HitRate()
+	}
+	if hit16 > 0.75 {
+		t.Errorf("16-entry branch cache hit rate %.3f too high; expected it to struggle", hit16)
+	}
+	if hit256 < hit16+0.15 {
+		t.Errorf("hit rate barely improves with size: %.3f → %.3f", hit16, hit256)
+	}
+}
+
+func TestBranchCacheNeverMuchBetterThanStatic(t *testing.T) {
+	// Even a large branch cache should not beat static prediction by a wide
+	// margin on loop-dominated streams — the paper's reason for dropping it.
+	events := synthBranches(80000, 64, 4)
+	static := Accuracy(NewStaticProfile(events), events)
+	bc := NewBranchCache(1024)
+	cache := Accuracy(bc, events)
+	if cache > static+0.10 {
+		t.Errorf("branch cache (%.3f) much better than static+profile (%.3f): contradicts the paper", cache, static)
+	}
+}
+
+func TestBranchCacheMechanics(t *testing.T) {
+	bc := NewBranchCache(4)
+	e := trace.BranchEvent{PC: 100, Taken: true}
+	if bc.Predict(e) {
+		t.Fatal("cold cache should predict not-taken")
+	}
+	bc.Update(e)
+	if !bc.Predict(e) {
+		t.Fatal("trained entry should predict taken")
+	}
+	// Conflict: PC 104 maps to the same slot in a 4-entry cache.
+	e2 := trace.BranchEvent{PC: 104, Taken: false}
+	bc.Update(e2)
+	if bc.Predict(e) {
+		t.Fatal("conflicting entry should have evicted PC 100")
+	}
+	if bc.Hits == 0 || bc.Misses == 0 {
+		t.Fatal("hit/miss accounting broken")
+	}
+}
+
+func TestBadEntryCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBranchCache(3)
+}

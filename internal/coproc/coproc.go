@@ -1,0 +1,257 @@
+// Package coproc implements the MIPS-X coprocessor interface and the
+// coprocessors used by the reproduction.
+//
+// The paper's final interface makes coprocessor operations a form of memory
+// operation: the processor computes rs1 + 17-bit offset exactly as for a
+// load or store and drives it onto the address pins while asserting a
+// memory-ignore pin; the 3-bit coprocessor number rides in the top bits of
+// the offset. The coprocessor acts as a source (ldc) or sink (stc) of data
+// on the data bus, or simply absorbs a command (cpw). One special
+// coprocessor — assumed to be the FPU — additionally gets its own load and
+// store instructions (ldf/stf) that move its registers to and from memory
+// directly, without passing through the main processor's registers; all
+// other coprocessors pay one extra instruction for memory transfers.
+//
+// Because coprocessor instructions travel over the address pins, they are
+// cached in the Icache like everything else (the decisive advantage over the
+// earlier non-cached proposal, exercised by experiment E5).
+package coproc
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// Coprocessor is the bus-side behaviour of one coprocessor.
+type Coprocessor interface {
+	// Name identifies the coprocessor in statistics and listings.
+	Name() string
+	// Exec performs one operation. op is Ldc (coprocessor drives the data
+	// bus; the returned word lands in a CPU register), Stc (data is the CPU
+	// register driven onto the data bus), or Cpw (command only). value is
+	// the full computed address-pin value (rs1 + offset); its low 14 bits
+	// are the coprocessor's private command field. stall is any extra
+	// cycles the coprocessor holds the processor.
+	Exec(op isa.MemOp, value, data isa.Word) (result isa.Word, stall int)
+}
+
+// Set is the machine's bank of up to 8 coprocessors. Slot 0 belongs to the
+// main processor/memory system and must stay nil.
+type Set struct {
+	units [isa.NumCoprocessors]Coprocessor
+	// Ops counts operations dispatched per coprocessor.
+	Ops [isa.NumCoprocessors]uint64
+}
+
+// Attach installs a coprocessor at slot n (1..7).
+func (s *Set) Attach(n uint8, c Coprocessor) {
+	if n == 0 || n >= isa.NumCoprocessors {
+		panic("coproc: slot must be 1..7")
+	}
+	s.units[n] = c
+}
+
+// Get returns the coprocessor at slot n, or nil.
+func (s *Set) Get(n uint8) Coprocessor { return s.units[n] }
+
+// Exec dispatches an operation to coprocessor n. Operations addressed to an
+// empty slot are absorbed silently (the bus simply sees no responder), which
+// is what the pins would do; ldc from an empty slot returns zero.
+func (s *Set) Exec(n uint8, op isa.MemOp, value, data isa.Word) (isa.Word, int) {
+	s.Ops[n]++
+	if u := s.units[n]; u != nil {
+		return u.Exec(op, value, data)
+	}
+	return 0, 0
+}
+
+// ---------------------------------------------------------------------------
+// The FPU (coprocessor 1)
+
+// FPU command encoding, in the 14-bit command field:
+//
+//	bits 13:8  operation
+//	bits  7:4  destination register fd
+//	bits  3:0  source register fs
+type FPUOp uint8
+
+// FPU operations. Values are IEEE single precision held in 32-bit registers.
+const (
+	FAdd   FPUOp = iota // fd := fd + fs
+	FSub                // fd := fd - fs
+	FMul                // fd := fd * fs
+	FDiv                // fd := fd / fs
+	FMov                // fd := fs
+	FNeg                // fd := -fs
+	FCvtW               // fd := float(int32 in fs)
+	FCvtF               // fd := int32(float in fs)
+	FCmpLt              // status := fd < fs
+	FCmpEq              // status := fd == fs
+	FGetS               // ldc result := status (1/0)
+	FGetR               // ldc result := raw bits of fd; stc: fd := data
+)
+
+// FPUCmd builds the 14-bit FPU command field.
+func FPUCmd(op FPUOp, fd, fs uint8) uint16 {
+	return uint16(op)<<8 | uint16(fd&15)<<4 | uint16(fs&15)
+}
+
+// FPU is the floating-point coprocessor: 16 registers of IEEE single
+// precision. OpLatency models the extra cycles an arithmetic operation
+// holds the machine (the paper's interface is synchronous with the MEM
+// cycle; a longer-latency FPU would stall there).
+type FPU struct {
+	Regs      [16]uint32 // raw float32 bits
+	status    bool
+	OpLatency map[FPUOp]int
+	OpCount   uint64
+}
+
+// NewFPU returns an FPU with a representative 1987-era latency model.
+func NewFPU() *FPU {
+	return &FPU{
+		OpLatency: map[FPUOp]int{FAdd: 1, FSub: 1, FMul: 3, FDiv: 10},
+	}
+}
+
+// Name implements Coprocessor.
+func (f *FPU) Name() string { return "fpu" }
+
+// Exec implements Coprocessor.
+func (f *FPU) Exec(op isa.MemOp, value, data isa.Word) (isa.Word, int) {
+	cmd := uint16(value & 0x3FFF)
+	fop := FPUOp(cmd >> 8)
+	fd := int(cmd >> 4 & 15)
+	fs := int(cmd & 15)
+	f.OpCount++
+	stall := f.OpLatency[fop]
+
+	get := func(i int) float32 { return math.Float32frombits(f.Regs[i]) }
+	set := func(i int, v float32) { f.Regs[i] = math.Float32bits(v) }
+
+	switch fop {
+	case FAdd:
+		set(fd, get(fd)+get(fs))
+	case FSub:
+		set(fd, get(fd)-get(fs))
+	case FMul:
+		set(fd, get(fd)*get(fs))
+	case FDiv:
+		set(fd, get(fd)/get(fs))
+	case FMov:
+		f.Regs[fd] = f.Regs[fs]
+	case FNeg:
+		set(fd, -get(fs))
+	case FCvtW:
+		set(fd, float32(int32(f.Regs[fs])))
+	case FCvtF:
+		f.Regs[fd] = uint32(int32(get(fs)))
+	case FCmpLt:
+		f.status = get(fd) < get(fs)
+	case FCmpEq:
+		f.status = get(fd) == get(fs)
+	case FGetS:
+		if f.status {
+			return 1, 0
+		}
+		return 0, 0
+	case FGetR:
+		switch op {
+		case isa.MemLdc:
+			return f.Regs[fd], 0
+		case isa.MemStc:
+			f.Regs[fd] = data
+		}
+	}
+	return 0, stall
+}
+
+// LoadReg implements the ldf path: the pipeline performs the memory read
+// and hands the word straight to the FPU register, bypassing CPU registers.
+func (f *FPU) LoadReg(fd uint8, w isa.Word) { f.Regs[fd&15] = w }
+
+// StoreReg implements the stf path.
+func (f *FPU) StoreReg(fd uint8) isa.Word { return f.Regs[fd&15] }
+
+// Float returns register i as a float32 (test/diagnostic helper).
+func (f *FPU) Float(i int) float32 { return math.Float32frombits(f.Regs[i&15]) }
+
+// SetFloat sets register i (test/diagnostic helper).
+func (f *FPU) SetFloat(i int, v float32) { f.Regs[i&15] = math.Float32bits(v) }
+
+// ---------------------------------------------------------------------------
+// The system/console coprocessor (coprocessor 7)
+
+// Console is the reproduction's test coprocessor: it provides the halt
+// signal and a byte/word output channel, standing in for the off-chip test
+// environment around the real part. Commands are in the low 14 bits:
+// 0 = print data as a signed word, 1 = print data as a character,
+// 0x3FFF = halt.
+type Console struct {
+	Out    io.Writer
+	Halted bool
+	Words  uint64 // words printed
+}
+
+// Console command codes (mirrored by the assembler's pseudo-instructions).
+const (
+	CmdPutWord = 0
+	CmdPutChar = 1
+	CmdHalt    = 0x3FFF
+)
+
+// Name implements Coprocessor.
+func (c *Console) Name() string { return "console" }
+
+// Exec implements Coprocessor.
+func (c *Console) Exec(op isa.MemOp, value, data isa.Word) (isa.Word, int) {
+	switch value & 0x3FFF {
+	case CmdHalt:
+		c.Halted = true
+	case CmdPutWord:
+		if op == isa.MemStc && c.Out != nil {
+			fmt.Fprintf(c.Out, "%d\n", int32(data))
+		}
+		c.Words++
+	case CmdPutChar:
+		if op == isa.MemStc && c.Out != nil {
+			fmt.Fprintf(c.Out, "%c", rune(data&0xFF))
+		}
+		c.Words++
+	}
+	return 0, 0
+}
+
+// ---------------------------------------------------------------------------
+// The interrupt-control coprocessor
+
+// IntController models the paper's separate off-chip interrupt control unit:
+// MIPS-X exceptions are not vectored, so the handler asks this unit for the
+// cause. Devices post causes with Post; the handler reads-and-clears the
+// highest-priority pending cause with an ldc.
+type IntController struct {
+	pending []isa.Word
+}
+
+// Name implements Coprocessor.
+func (ic *IntController) Name() string { return "intc" }
+
+// Post records a device interrupt cause code.
+func (ic *IntController) Post(cause isa.Word) { ic.pending = append(ic.pending, cause) }
+
+// Pending reports whether any cause is waiting.
+func (ic *IntController) Pending() bool { return len(ic.pending) > 0 }
+
+// Exec implements Coprocessor: an ldc pops the oldest pending cause
+// (0 when none).
+func (ic *IntController) Exec(op isa.MemOp, value, data isa.Word) (isa.Word, int) {
+	if op == isa.MemLdc && len(ic.pending) > 0 {
+		c := ic.pending[0]
+		ic.pending = ic.pending[1:]
+		return c, 0
+	}
+	return 0, 0
+}

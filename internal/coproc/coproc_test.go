@@ -1,0 +1,159 @@
+package coproc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestFPUArithmetic(t *testing.T) {
+	f := NewFPU()
+	f.SetFloat(1, 3.5)
+	f.SetFloat(2, 1.25)
+	f.Exec(isa.MemCpw, isa.Word(FPUCmd(FAdd, 1, 2)), 0)
+	if got := f.Float(1); got != 4.75 {
+		t.Fatalf("fadd: %v", got)
+	}
+	f.Exec(isa.MemCpw, isa.Word(FPUCmd(FMul, 1, 2)), 0)
+	if got := f.Float(1); got != 4.75*1.25 {
+		t.Fatalf("fmul: %v", got)
+	}
+	f.Exec(isa.MemCpw, isa.Word(FPUCmd(FDiv, 1, 2)), 0)
+	if got := f.Float(1); got != 4.75 {
+		t.Fatalf("fdiv: %v", got)
+	}
+	f.Exec(isa.MemCpw, isa.Word(FPUCmd(FSub, 1, 2)), 0)
+	if got := f.Float(1); got != 3.5 {
+		t.Fatalf("fsub: %v", got)
+	}
+	f.Exec(isa.MemCpw, isa.Word(FPUCmd(FNeg, 3, 1)), 0)
+	if got := f.Float(3); got != -3.5 {
+		t.Fatalf("fneg: %v", got)
+	}
+}
+
+func TestFPUCompareAndStatus(t *testing.T) {
+	f := NewFPU()
+	f.SetFloat(0, 1)
+	f.SetFloat(1, 2)
+	f.Exec(isa.MemCpw, isa.Word(FPUCmd(FCmpLt, 0, 1)), 0)
+	if s, _ := f.Exec(isa.MemLdc, isa.Word(FPUCmd(FGetS, 0, 0)), 0); s != 1 {
+		t.Fatal("1 < 2 should set status")
+	}
+	f.Exec(isa.MemCpw, isa.Word(FPUCmd(FCmpLt, 1, 0)), 0)
+	if s, _ := f.Exec(isa.MemLdc, isa.Word(FPUCmd(FGetS, 0, 0)), 0); s != 0 {
+		t.Fatal("2 < 1 should clear status")
+	}
+	f.Exec(isa.MemCpw, isa.Word(FPUCmd(FCmpEq, 0, 0)), 0)
+	if s, _ := f.Exec(isa.MemLdc, isa.Word(FPUCmd(FGetS, 0, 0)), 0); s != 1 {
+		t.Fatal("equality compare broken")
+	}
+}
+
+func TestFPUConversions(t *testing.T) {
+	f := NewFPU()
+	var minus7 int32 = -7
+	f.Regs[4] = uint32(minus7) // integer bits
+	f.Exec(isa.MemCpw, isa.Word(FPUCmd(FCvtW, 5, 4)), 0)
+	if got := f.Float(5); got != -7 {
+		t.Fatalf("cvtw: %v", got)
+	}
+	f.SetFloat(6, 42.9)
+	f.Exec(isa.MemCpw, isa.Word(FPUCmd(FCvtF, 7, 6)), 0)
+	if int32(f.Regs[7]) != 42 {
+		t.Fatalf("cvtf: %d", int32(f.Regs[7]))
+	}
+}
+
+func TestFPURegisterTransfers(t *testing.T) {
+	f := NewFPU()
+	// stc moves a CPU word into an FPU register; ldc moves it back.
+	f.Exec(isa.MemStc, isa.Word(FPUCmd(FGetR, 9, 0)), 0x40490FDB) // ~pi
+	if w, _ := f.Exec(isa.MemLdc, isa.Word(FPUCmd(FGetR, 9, 0)), 0); w != 0x40490FDB {
+		t.Fatalf("round trip through FGetR: %#x", w)
+	}
+	// ldf/stf direct path.
+	f.LoadReg(3, 0x3F800000) // 1.0
+	if f.Float(3) != 1.0 {
+		t.Fatal("LoadReg failed")
+	}
+	if f.StoreReg(3) != 0x3F800000 {
+		t.Fatal("StoreReg failed")
+	}
+}
+
+func TestFPULatencies(t *testing.T) {
+	f := NewFPU()
+	_, s := f.Exec(isa.MemCpw, isa.Word(FPUCmd(FDiv, 0, 1)), 0)
+	if s != 10 {
+		t.Fatalf("fdiv stall %d, want 10", s)
+	}
+	_, s = f.Exec(isa.MemCpw, isa.Word(FPUCmd(FAdd, 0, 1)), 0)
+	if s != 1 {
+		t.Fatalf("fadd stall %d, want 1", s)
+	}
+}
+
+func TestConsole(t *testing.T) {
+	var out strings.Builder
+	c := &Console{Out: &out}
+	c.Exec(isa.MemStc, CmdPutWord, 42)
+	c.Exec(isa.MemStc, CmdPutChar, 'h')
+	c.Exec(isa.MemStc, CmdPutChar, 'i')
+	if c.Halted {
+		t.Fatal("halted early")
+	}
+	c.Exec(isa.MemCpw, CmdHalt, 0)
+	if !c.Halted {
+		t.Fatal("halt not recognized")
+	}
+	if got := out.String(); got != "42\nhi" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+func TestIntController(t *testing.T) {
+	ic := &IntController{}
+	if ic.Pending() {
+		t.Fatal("fresh controller pending")
+	}
+	ic.Post(5)
+	ic.Post(9)
+	if !ic.Pending() {
+		t.Fatal("posted cause not pending")
+	}
+	if c, _ := ic.Exec(isa.MemLdc, 0, 0); c != 5 {
+		t.Fatalf("first cause %d", c)
+	}
+	if c, _ := ic.Exec(isa.MemLdc, 0, 0); c != 9 {
+		t.Fatalf("second cause %d", c)
+	}
+	if c, _ := ic.Exec(isa.MemLdc, 0, 0); c != 0 {
+		t.Fatalf("empty read %d", c)
+	}
+}
+
+func TestSetDispatch(t *testing.T) {
+	var s Set
+	con := &Console{}
+	s.Attach(7, con)
+	s.Exec(7, isa.MemCpw, CmdHalt, 0)
+	if !con.Halted {
+		t.Fatal("dispatch missed")
+	}
+	if s.Ops[7] != 1 {
+		t.Fatal("op count wrong")
+	}
+	// Empty slot absorbs silently.
+	if w, stall := s.Exec(3, isa.MemLdc, 0, 0); w != 0 || stall != 0 {
+		t.Fatal("empty slot should absorb")
+	}
+	// Slot 0 is reserved.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Attach(0) should panic")
+		}
+	}()
+	s.Attach(0, con)
+}

@@ -1,0 +1,230 @@
+// Package core assembles the complete MIPS-X system of the paper: the
+// pipelined processor (internal/pipeline), the on-chip instruction cache
+// (internal/icache), the external cache (internal/ecache) and main memory
+// behind a shared bus (internal/mem), and the coprocessors — an FPU on
+// slot 1, the interrupt controller on slot 2, and the test/console
+// coprocessor on slot 7 (internal/coproc).
+//
+// Machine is the library's public face: load a program, run it, read the
+// statistics every experiment in the paper is built from.
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/coproc"
+	"repro/internal/ecache"
+	"repro/internal/icache"
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+)
+
+// ClockMHz is the design-point clock rate used to convert cycle counts to
+// MIPS figures (the chip was designed for 20 MHz; first silicon ran at 16).
+const ClockMHz = 20.0
+
+// Config selects every tradeoff variant the experiments exercise.
+type Config struct {
+	Pipeline pipeline.Config
+	Icache   icache.Config
+	Ecache   ecache.Config
+	Bus      mem.Bus
+	// NoFPU omits the floating-point coprocessor.
+	NoFPU bool
+}
+
+// DefaultConfig is the machine as built.
+func DefaultConfig() Config {
+	return Config{
+		Pipeline: pipeline.DefaultConfig(),
+		Icache:   icache.DefaultConfig(),
+		Ecache:   ecache.DefaultConfig(),
+		Bus:      *mem.DefaultBus(),
+	}
+}
+
+// Machine is a complete MIPS-X system.
+type Machine struct {
+	Cfg Config
+
+	CPU    *pipeline.CPU
+	ICache *icache.Cache
+	ECache *ecache.Cache
+	Mem    *mem.Memory
+	Bus    *mem.Bus
+
+	FPU     *coproc.FPU
+	IntC    *coproc.IntController
+	Console *coproc.Console
+
+	Image *asm.Image
+
+	out strings.Builder
+}
+
+// New builds a machine. consoleOut receives program output (nil discards it
+// into the machine's internal buffer, readable via Output).
+func New(cfg Config, consoleOut io.Writer) *Machine {
+	return NewShared(cfg, nil, nil, consoleOut)
+}
+
+// NewShared builds a machine as one node of a shared-memory multiprocessor:
+// sharedMem is the common main memory (nil allocates a private one) and arb
+// the shared-bus arbiter (nil means an uncontended private bus). This is
+// the configuration of the MIPS-X project's system goal — 6–10 processors
+// on one memory bus (see internal/multi).
+func NewShared(cfg Config, sharedMem *mem.Memory, arb *mem.Arbiter, consoleOut io.Writer) *Machine {
+	m := &Machine{Cfg: cfg}
+	if sharedMem != nil {
+		m.Mem = sharedMem
+	} else {
+		m.Mem = mem.New()
+	}
+	m.Bus = &mem.Bus{Latency: cfg.Bus.Latency, PerWord: cfg.Bus.PerWord}
+	if arb != nil {
+		m.Bus.Arb = arb
+		m.Bus.Now = func() uint64 { return m.CPU.Stats.Cycles }
+	}
+	m.ECache = ecache.New(cfg.Ecache, m.Mem, m.Bus)
+	m.ICache = icache.New(cfg.Icache, m.ECache)
+
+	var set coproc.Set
+	if !cfg.NoFPU {
+		m.FPU = coproc.NewFPU()
+		set.Attach(1, m.FPU)
+	}
+	m.IntC = &coproc.IntController{}
+	set.Attach(2, m.IntC)
+	if consoleOut == nil {
+		consoleOut = &m.out
+	}
+	m.Console = &coproc.Console{Out: consoleOut}
+	set.Attach(7, m.Console)
+
+	m.CPU = pipeline.New(cfg.Pipeline, m.ICache, m.ECache, &set)
+	return m
+}
+
+// Load installs an assembled image and resets the CPU to its entry point
+// (the "main" symbol when present, else the image base).
+func (m *Machine) Load(im *asm.Image) {
+	m.Image = im
+	m.Mem.LoadImage(im.Base, im.Words)
+	entry := im.Base
+	if e, ok := im.Symbols["main"]; ok {
+		entry = e
+	}
+	m.CPU.Reset(entry)
+	m.Console.Halted = false
+}
+
+// LoadSource assembles src at address 0 and loads it.
+func (m *Machine) LoadSource(src string) error {
+	im, err := asm.AssembleSource(src, 0)
+	if err != nil {
+		return err
+	}
+	m.Load(im)
+	return nil
+}
+
+// Run executes until the program halts (console coprocessor halt command)
+// or maxCycles elapse. It returns the number of cycles consumed and an
+// error if the limit was hit first.
+func (m *Machine) Run(maxCycles uint64) (uint64, error) {
+	var cycles uint64
+	for !m.Console.Halted {
+		// Wire the interrupt controller to the CPU's interrupt line, as the
+		// off-chip interrupt unit would: level-triggered, deasserted once
+		// the handler has drained the pending causes.
+		m.CPU.IntLine = m.IntC.Pending()
+		cycles += uint64(m.CPU.Step())
+		if cycles >= maxCycles {
+			return cycles, fmt.Errorf("core: no halt within %d cycles (pc %#x)", maxCycles, m.CPU.PC())
+		}
+	}
+	return cycles, nil
+}
+
+// Output returns the program output captured by the internal console buffer
+// (empty if New was given an explicit writer).
+func (m *Machine) Output() string { return m.out.String() }
+
+// Stats is the aggregated view of a run, combining pipeline, Icache and
+// Ecache behaviour into the metrics the paper reports.
+type Stats struct {
+	Pipeline pipeline.Stats
+	Icache   icache.Stats
+	Ecache   ecache.Stats
+	BusWords uint64
+}
+
+// Stats snapshots the machine's counters.
+func (m *Machine) Stats() Stats {
+	return Stats{
+		Pipeline: m.CPU.Stats,
+		Icache:   m.ICache.Stats,
+		Ecache:   m.ECache.Stats,
+		BusWords: m.Bus.WordsCarried,
+	}
+}
+
+// IfetchCost is the average cost of an instruction fetch in cycles:
+// 1 + miss ratio × miss service time (the paper's 1.24 cycles at a 12% miss
+// ratio with 2-cycle misses).
+func (s Stats) IfetchCost() float64 {
+	if s.Pipeline.Fetches == 0 {
+		return 0
+	}
+	return 1 + float64(s.Icache.StallCycles)/float64(s.Pipeline.Fetches)
+}
+
+// CPI is cycles per issued instruction including all memory overheads (the
+// paper's ~1.7 cycles per instruction).
+func (s Stats) CPI() float64 { return s.Pipeline.CPI() }
+
+// SustainedMIPS converts CPI to sustained MIPS at the design clock.
+func (s Stats) SustainedMIPS() float64 {
+	cpi := s.CPI()
+	if cpi == 0 {
+		return 0
+	}
+	return ClockMHz / cpi
+}
+
+// PinBandwidthMW is the average off-chip word traffic in megawords/second
+// at the design clock: the paper's memory-bandwidth motivation (experiment
+// E9). Off-chip traffic is Icache refill words plus all data accesses.
+func (s Stats) PinBandwidthMW() float64 {
+	if s.Pipeline.Cycles == 0 {
+		return 0
+	}
+	offChip := s.Icache.WordsFetched + s.Pipeline.Loads + s.Pipeline.Stores + s.Pipeline.FPMemOps
+	return ClockMHz * float64(offChip) / float64(s.Pipeline.Cycles)
+}
+
+// DemandBandwidthMW is the bandwidth the core would demand with no on-chip
+// cache: one instruction word per issued instruction plus all data words,
+// over the same cycles — the paper's "average bandwidth of 26 MWords/s".
+func (s Stats) DemandBandwidthMW() float64 {
+	if s.Pipeline.Cycles == 0 {
+		return 0
+	}
+	demand := s.Pipeline.Fetches + s.Pipeline.Loads + s.Pipeline.Stores + s.Pipeline.FPMemOps
+	return ClockMHz * float64(demand) / float64(s.Pipeline.Cycles)
+}
+
+// StateAccounting reports the architected state bits in each major block,
+// backing the Figure 2 claim that the Icache dominates the chip (two thirds
+// of its 150K transistors are in the instruction cache).
+func (m *Machine) StateAccounting() (icacheBits, datapathBits int) {
+	icacheBits = m.ICache.StateBits()
+	// Datapath state: 32 registers + PSW + PSWold + MD + 3 PC chain entries
+	// + PC, each 32 bits, plus the pipeline latches (5 stages × ~96 bits of
+	// instruction/PC/result state).
+	datapathBits = (32+7)*32 + 5*96
+	return icacheBits, datapathBits
+}

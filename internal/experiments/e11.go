@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/multi"
+	"repro/internal/reorg"
+	"repro/internal/tinyc"
+)
+
+// MultiprocessorScaling is E11, an extension beyond the paper's own
+// evaluation: the shared-memory multiprocessor the processor was designed
+// for ("use 6-10 of these processors as the nodes in a shared memory
+// multiprocessor. The resulting machine would be about two orders of
+// magnitude more powerful than a VAX 11/780"). Every node runs the same
+// benchmark; the shared bus arbitrates all off-chip traffic. The on-chip
+// Icache is what keeps per-node pin bandwidth low enough for the bus to
+// carry 10 nodes.
+func MultiprocessorScaling() (*Table, error) {
+	t := &Table{
+		ID:     "E11",
+		Title:  "Shared-memory multiprocessor scaling (extension; the project's system goal)",
+		Paper:  "6–10 nodes ≈ two orders of magnitude over a VAX 11/780",
+		Header: []string{"nodes", "aggregate MIPS", "bus wait/node (cycles)", "vs VAX 11/780"},
+	}
+	bench := tinyc.Benchmarks()[3] // sieve: branchy, array-heavy, fits the window 10×
+
+	// The VAX reference rate on the same program.
+	vm, err := tinyc.BuildVAX(bench.Source)
+	if err != nil {
+		return nil, err
+	}
+	if err := vm.Run(200_000_000); err != nil {
+		return nil, err
+	}
+	vaxSeconds := float64(vm.Stats.Cycles) / (5.0 * 1e6) // 5 MHz clock
+
+	for _, n := range []int{1, 2, 4, 6, 8, 10} {
+		srcs := make([]string, n)
+		for i := range srcs {
+			srcs[i] = bench.Source
+		}
+		c := multi.New(n, core.DefaultConfig())
+		if err := c.LoadPrograms(srcs, reorg.Default()); err != nil {
+			return nil, err
+		}
+		if err := c.Run(1_000_000_000); err != nil {
+			return nil, err
+		}
+		s := c.Stats()
+		// n programs finished in makespan cycles; the VAX does them one
+		// after another.
+		mxSeconds := float64(s.MakespanCycles) / (core.ClockMHz * 1e6)
+		speedup := float64(n) * vaxSeconds / mxSeconds
+		t.AddRow(fmt.Sprint(n), s.AggregateMIPS,
+			fmt.Sprintf("%.0f", float64(s.BusWaitCycles)/float64(n)),
+			fmt.Sprintf("%.0fx", speedup))
+	}
+	t.Notes = append(t.Notes,
+		"every node runs its own copy of the sieve benchmark; the bus carries all Icache refills and data traffic",
+		"this experiment extends the paper, whose evaluation stopped at the uniprocessor")
+	return t, nil
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/icache"
+	"repro/internal/pipeline"
+)
+
+// handlerAsm is the paper's minimal exception handler: save the PC chain,
+// advance past the trap, reload, and restart with three special jumps.
+const handlerAsm = `
+handler:
+	movs r20, pc0
+	movs r21, pc1
+	movs r22, pc2
+	addi r23, r23, 1
+	addi r20, r20, 1
+	addi r21, r21, 1
+	addi r22, r22, 1
+	mots pc0, r20
+	mots pc1, r21
+	mots pc2, r22
+	nop
+	nop
+	jpc
+	jpc
+	jpcrs
+`
+
+// trapLoop executes n iterations, trapping once per iteration when trap=1.
+func trapLoop(n int, withTrap bool) string {
+	body := "\tnop\n"
+	if withTrap {
+		body = "\ttrap 0\n"
+	}
+	return handlerAsm + fmt.Sprintf(`
+main:	addi r1, r0, %d
+loop:	%s
+	addi r1, r1, -1
+	bne.sq r1, r0, loop
+	nop
+	nop
+	halt
+`, n, body)
+}
+
+// ExceptionHandling reproduces the exception-mechanism results (§Exception
+// Handling, Figures 3 and 4): the squash FSM serves both exceptions and
+// branch squashing, exception entry+restart is a handful of cycles, and the
+// trap-on-overflow design is compared against the rejected sticky bit.
+func ExceptionHandling() (*Table, error) {
+	t := &Table{
+		ID:     "E8",
+		Title:  "Exception handling and the shared squash FSM",
+		Paper:  "freeze pipeline, save 3 PCs, restart with 3 jumps; squashing branches reuse the exception FSM (+1 input); trap on overflow simpler than sticky bit",
+		Header: []string{"measure", "value"},
+	}
+	const iters = 200
+	base, err := runAsm(trapLoop(iters, false), core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	trap, err := runAsm(trapLoop(iters, true), core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	if trap.CPU.Reg(23) != iters {
+		return nil, fmt.Errorf("exception loop took %d exceptions, want %d", trap.CPU.Reg(23), iters)
+	}
+	perTrap := float64(trap.CPU.Stats.Cycles-base.CPU.Stats.Cycles) / iters
+	t.AddRow("cycles per exception (entry + minimal handler + 3-jump restart)", perTrap)
+	t.AddRow("exceptions taken", trap.CPU.Stats.Exceptions)
+	t.AddRow("instructions killed per exception", float64(trap.CPU.Stats.Killed)/iters)
+	t.AddRow("squash FSM events from exceptions", trap.CPU.Squash.Events[pipeline.CauseException])
+
+	// The same FSM driven by branch squashing (the single extra input).
+	br, err := runAsm(handlerAsm+`
+main:	addi r1, r0, 50
+loop:	addi r1, r1, -1
+	bne.sq r1, r0, loop
+	nop
+	nop
+	halt
+`, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("squash FSM events from branches (same machine)", br.CPU.Squash.Events[pipeline.CauseBranch])
+
+	// Figure 4: the cache-miss FSM walk for the chosen 2-cycle service.
+	var fsm string
+	for _, tr := range icache.StateTable(2) {
+		fsm += fmt.Sprintf("%s→%s ", tr[0], tr[1])
+	}
+	t.AddRow("Icache miss FSM walk (Figure 4)", fsm)
+	t.AddRow("squash FSM walk (Figure 3)", "Idle→Sq1→Sq2→Idle")
+
+	// Overflow mechanism ablation: trap on overflow suppresses the result
+	// and vectors; the sticky bit completes the instruction and only
+	// records the fact.
+	ovf := handlerAsm + `
+main:	li r9, 0x7FFFFFFF
+	li r10, 517
+	mots psw, r10
+	nop
+	nop
+	add r11, r9, r9
+	halt
+`
+	trapM, err := runAsm(ovf, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	sticky := core.DefaultConfig()
+	sticky.Pipeline.StickyOverflow = true
+	stickyM, err := runAsm(ovf, sticky)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("trap-on-overflow: exceptions / result written", fmt.Sprintf("%d / %v",
+		trapM.CPU.Stats.Exceptions, trapM.CPU.Reg(11) != 0))
+	t.AddRow("sticky-overflow:  exceptions / result written / PSW bit", fmt.Sprintf("%d / %v / %v",
+		stickyM.CPU.Stats.Exceptions, stickyM.CPU.Reg(11) != 0, stickyM.CPU.PSW()&8 != 0))
+	t.Notes = append(t.Notes,
+		"the two FSMs occupy <0.2% of die area on the chip; here they are the only global controllers, as on the chip")
+	return t, nil
+}

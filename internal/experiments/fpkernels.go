@@ -1,0 +1,47 @@
+package experiments
+
+// Hand-scheduled FP kernels for the ldf/stf study in E5: the same
+// vector-scale loop written with the special coprocessor's direct memory
+// path (one instruction per FPU memory transfer) and through the main
+// processor's registers (the path every other coprocessor must take:
+// ld+stc inbound, ldc+st outbound, plus load delay slots).
+
+const fpCopyDirect = `
+main:	la r1, vec
+	addi r2, r0, 32
+	ldf f2, konst(r0)
+loop:	ldf f0, 0(r1)
+	cpw c1, 2(r0)          ; fadd f0, f2
+	stf f0, 0(r1)
+	addi r1, r1, 1
+	addi r2, r2, -1
+	bne.sq r2, r0, loop
+	nop
+	nop
+	halt
+vec:	.space 32
+konst:	.word 0x3F800000       ; 1.0f
+`
+
+const fpCopyViaCPU = `
+main:	la r1, vec
+	addi r2, r0, 32
+	ld r4, konst(r0)
+	nop
+	stc r4, c1, 2848(r0)   ; f2 := bits (FGetR f2)
+loop:	ld r3, 0(r1)
+	nop                    ; load delay
+	stc r3, c1, 2816(r0)   ; f0 := bits (FGetR f0)
+	cpw c1, 2(r0)          ; fadd f0, f2
+	ldc r3, c1, 2816(r0)   ; bits := f0
+	nop                    ; ldc delay
+	st r3, 0(r1)
+	addi r1, r1, 1
+	addi r2, r2, -1
+	bne.sq r2, r0, loop
+	nop
+	nop
+	halt
+vec:	.space 32
+konst:	.word 0x3F800000
+`

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/reorg"
+	"repro/internal/tinyc"
+	"repro/internal/trace"
+)
+
+// runLimit bounds every experiment run.
+const runLimit = 50_000_000
+
+// run builds a tinyc benchmark for the scheme and runs it to completion on
+// a machine with the given configuration (BranchSlots is forced to match
+// the scheme). Returns the machine for its statistics.
+func run(b tinyc.Benchmark, scheme reorg.Scheme, prof reorg.Profile, cfg core.Config) (*core.Machine, error) {
+	im, err := tinyc.Build(b.Source, scheme, prof)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	cfg.Pipeline.BranchSlots = scheme.Slots
+	m := core.New(cfg, nil)
+	m.Load(im)
+	if _, err := m.Run(runLimit); err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	if want := b.Expect(); m.Output() != want {
+		return nil, fmt.Errorf("%s: wrong output %q (want %q)", b.Name, m.Output(), want)
+	}
+	return m, nil
+}
+
+// runProfiled runs twice: once to collect a branch profile, then rebuilt
+// with the profile — the paper's "static prediction (possibly with
+// profiling)" toolchain.
+func runProfiled(b tinyc.Benchmark, scheme reorg.Scheme, cfg core.Config) (*core.Machine, error) {
+	im, err := tinyc.Build(b.Source, scheme, nil)
+	if err != nil {
+		return nil, err
+	}
+	c1 := cfg
+	c1.Pipeline.BranchSlots = scheme.Slots
+	m1 := core.New(c1, nil)
+	m1.Load(im)
+	var rec trace.Recorder
+	rec.KeepInstrs = 1 // only branches matter for the profile
+	rec.Attach(m1.CPU)
+	if _, err := m1.Run(runLimit); err != nil {
+		return nil, err
+	}
+	prof := trace.Profile(im, rec.Branches)
+	return run(b, scheme, prof, cfg)
+}
+
+// suiteStats aggregates pipeline stats over a set of benchmarks.
+type suiteStats struct {
+	Branches, Wasted, SlotNops      uint64
+	Retired, Nops, Squashed, Cycles uint64
+	Loads, Stores, Fetches          uint64
+	CmpEq, CmpSign, CmpZero         uint64
+	IcacheStalls, DataStalls        uint64
+}
+
+func (s *suiteStats) add(m *core.Machine) {
+	p := m.CPU.Stats
+	s.Branches += p.Branches
+	s.Wasted += p.BranchWasted
+	s.SlotNops += p.BranchSlotNops
+	s.Retired += p.Retired
+	s.Nops += p.Nops
+	s.Squashed += p.Squashed
+	s.Cycles += p.Cycles
+	s.Loads += p.Loads
+	s.Stores += p.Stores
+	s.Fetches += p.Fetches
+	s.CmpEq += p.BranchCmpEq
+	s.CmpSign += p.BranchCmpSign
+	s.CmpZero += p.BranchCmpZero
+	s.IcacheStalls += p.IcacheStalls
+	s.DataStalls += p.DataStalls
+}
+
+func (s *suiteStats) cyclesPerBranch() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return 1 + float64(s.Wasted)/float64(s.Branches)
+}
+
+func (s *suiteStats) issued() uint64 { return s.Retired + s.Squashed }
+
+func (s *suiteStats) nopFraction() float64 {
+	if s.issued() == 0 {
+		return 0
+	}
+	return float64(s.Nops+s.Squashed) / float64(s.issued())
+}
+
+func (s *suiteStats) cpi() float64 {
+	if s.issued() == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.issued())
+}
+
+// runSuite runs the given benchmarks under one scheme and aggregates.
+func runSuite(benches []tinyc.Benchmark, scheme reorg.Scheme, profiled bool, cfg core.Config) (suiteStats, error) {
+	var agg suiteStats
+	for _, b := range benches {
+		var m *core.Machine
+		var err error
+		if profiled {
+			m, err = runProfiled(b, scheme, cfg)
+		} else {
+			m, err = run(b, scheme, nil, cfg)
+		}
+		if err != nil {
+			return agg, err
+		}
+		agg.add(m)
+	}
+	return agg, nil
+}
+
+// runAsm assembles and runs hand-written (already scheduled) assembly on
+// the given configuration.
+func runAsm(src string, cfg core.Config) (*core.Machine, error) {
+	im, err := asm.AssembleSource(src, 0)
+	if err != nil {
+		return nil, err
+	}
+	m := core.New(cfg, nil)
+	m.Load(im)
+	if _, err := m.Run(runLimit); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// table1Benchmarks is the workload for the branch-scheme study: the integer
+// suite (Pascal- and Lisp-class programs), matching the paper's use of its
+// benchmark set for Table 1.
+func table1Benchmarks() []tinyc.Benchmark {
+	var out []tinyc.Benchmark
+	for _, b := range tinyc.Benchmarks() {
+		if b.Class != "fp" {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+// Package experiments regenerates every table, figure and quantitative
+// claim in the paper's evaluation (see DESIGN.md §4 for the index). Each
+// experiment function returns a Table whose rows mirror the paper's
+// presentation; cmd/mipsx-bench prints them all, bench_test.go exposes each
+// as a benchmark, and the tests in this package assert that the measured
+// shapes match the paper (who wins, by roughly what factor).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result in paper-style rows.
+type Table struct {
+	ID     string // experiment id from DESIGN.md (E1..E10, F1..)
+	Title  string
+	Paper  string // the paper's corresponding numbers, quoted for comparison
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	if t.Paper != "" {
+		fmt.Fprintf(&b, "  paper: %s\n", t.Paper)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		b.WriteString("  ")
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Cell looks up a row by its first column and returns the named column's
+// value (by header name). It is the accessor the shape-checking tests use.
+func (t *Table) Cell(rowKey, col string) (string, bool) {
+	ci := -1
+	for i, h := range t.Header {
+		if h == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return "", false
+	}
+	for _, r := range t.Rows {
+		if len(r) > ci && r[0] == rowKey {
+			return r[ci], true
+		}
+	}
+	return "", false
+}
+
+// CellF is Cell parsed as float64.
+func (t *Table) CellF(rowKey, col string) (float64, bool) {
+	s, ok := t.Cell(rowKey, col)
+	if !ok {
+		return 0, false
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s, "%f", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// sscanf is a tiny alias so the tests read naturally.
+func sscanf(s, format string, args ...any) (int, error) {
+	return fmt.Sscanf(s, format, args...)
+}

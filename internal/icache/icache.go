@@ -1,0 +1,275 @@
+// Package icache implements the MIPS-X on-chip instruction cache.
+//
+// The paper's Icache is a 2 KB (512-word) cache organized as an 8-way
+// set-associative cache with 4 sets (rows) and 16 words per block, using
+// sub-block placement: there are 512 valid bits, one per word, and only 32
+// tags. The tag and valid-bit stores sit in the datapath next to the PC unit
+// so that a miss is detected fast enough to service in 2 cycles instead
+// of 3. On a miss the machine stalls 2 cycles and fetches back two words —
+// the one that missed and the next to be executed — which almost halves the
+// miss ratio relative to single-word fetch ("the key realization ... was
+// that there was extra cache bandwidth available"). Fetching more than 2
+// words would not help because the cache bandwidth is then fully used.
+//
+// Instructions that miss are supplied by the external cache, so the total
+// stall on an Icache miss is the Icache's own service time plus whatever the
+// Ecache adds.
+package icache
+
+import (
+	"repro/internal/ecache"
+	"repro/internal/isa"
+)
+
+// Config parameterizes the Icache organization, exposing the axes the
+// design-space study in the paper (and its companion paper, Agarwal et al.
+// 1987) explored.
+type Config struct {
+	Sets       int // number of sets (rows); paper: 4
+	Ways       int // associativity; paper: 8
+	BlockWords int // words per block (line); paper: 16
+	FetchBack  int // words fetched on a miss; paper: 2 (the double fetch)
+	// MissPenalty is the machine stall per miss in cycles; 2 with the tag
+	// store in the datapath, 3 otherwise.
+	MissPenalty int
+	// NoCacheCoproc models the rejected coprocessor proposal in which
+	// coprocessor instructions are never cached, so the coprocessor can
+	// capture them from the memory bus during the (forced) miss.
+	NoCacheCoproc bool
+	// Disabled runs with the cache turned off (every fetch misses and
+	// nothing is allocated) — the paper's instruction-register test feature.
+	Disabled bool
+}
+
+// DefaultConfig is the Icache as built: 4 sets × 8 ways × 16 words = 512
+// words, double fetch, 2-cycle miss service.
+func DefaultConfig() Config {
+	return Config{Sets: 4, Ways: 8, BlockWords: 16, FetchBack: 2, MissPenalty: 2}
+}
+
+// SizeWords returns the data capacity.
+func (c Config) SizeWords() int { return c.Sets * c.Ways * c.BlockWords }
+
+// Stats accumulates Icache behaviour.
+type Stats struct {
+	Fetches      uint64
+	Misses       uint64
+	StallCycles  uint64 // Icache service stalls only (Ecache stalls counted there)
+	WordsFetched uint64 // words brought on-chip (bus pin traffic)
+}
+
+// MissRatio returns misses per fetch.
+func (s Stats) MissRatio() float64 {
+	if s.Fetches == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Fetches)
+}
+
+type block struct {
+	tag   isa.Word
+	valid []bool // per-word valid bits: sub-block placement
+	inUse bool   // tag allocated
+	use   uint64 // LRU stamp
+	// coproc marks words holding coprocessor instructions under the
+	// NoCacheCoproc ablation; such words never become valid.
+	coproc []bool
+}
+
+// Cache is the on-chip instruction cache backed by the Ecache.
+type Cache struct {
+	cfg      Config
+	sets     [][]block
+	blkShift uint
+	setMask  isa.Word
+	setBits  uint
+	tick     uint64
+
+	// Backing store for misses. Fetching through the Ecache charges its
+	// stalls too, exactly like the real two-level hierarchy.
+	Backing *ecache.Cache
+
+	Stats Stats
+
+	// FSM is the cache-miss finite state machine (paper Figure 4),
+	// advanced by Fetch during miss service and observable by tests.
+	FSM MissFSM
+
+	// isCoprocInstr classifies an instruction word for NoCacheCoproc mode.
+	isCoprocInstr func(isa.Word) bool
+}
+
+// New builds an Icache over the given Ecache.
+func New(cfg Config, backing *ecache.Cache) *Cache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.BlockWords <= 0 || cfg.FetchBack <= 0 {
+		panic("icache: bad config")
+	}
+	if cfg.Sets&(cfg.Sets-1) != 0 || cfg.BlockWords&(cfg.BlockWords-1) != 0 {
+		panic("icache: sets and block words must be powers of two")
+	}
+	c := &Cache{
+		cfg:      cfg,
+		sets:     make([][]block, cfg.Sets),
+		blkShift: log2(cfg.BlockWords),
+		setMask:  isa.Word(cfg.Sets - 1),
+		setBits:  log2(cfg.Sets),
+		Backing:  backing,
+		isCoprocInstr: func(w isa.Word) bool {
+			return isa.Decode(w).IsCoproc()
+		},
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]block, cfg.Ways)
+		for j := range c.sets[i] {
+			c.sets[i][j].valid = make([]bool, cfg.BlockWords)
+			c.sets[i][j].coproc = make([]bool, cfg.BlockWords)
+		}
+	}
+	return c
+}
+
+func log2(v int) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) index(a isa.Word) (set, tag isa.Word, off int) {
+	blk := a >> c.blkShift
+	return blk & c.setMask, blk >> c.setBits, int(a & isa.Word(c.cfg.BlockWords-1))
+}
+
+// Present reports whether a fetch of address a would hit, without updating
+// any state.
+func (c *Cache) Present(a isa.Word) bool {
+	if c.cfg.Disabled {
+		return false
+	}
+	set, tag, off := c.index(a)
+	for i := range c.sets[set] {
+		b := &c.sets[set][i]
+		if b.inUse && b.tag == tag && b.valid[off] {
+			return true
+		}
+	}
+	return false
+}
+
+// Fetch returns the instruction word at address a and the total stall in
+// cycles (0 on a hit). On a miss it services the miss through the Ecache,
+// fetching FetchBack sequential words, and drives the miss FSM through its
+// states.
+func (c *Cache) Fetch(a isa.Word) (isa.Word, int) {
+	c.Stats.Fetches++
+	if !c.cfg.Disabled {
+		set, tag, off := c.index(a)
+		for i := range c.sets[set] {
+			b := &c.sets[set][i]
+			if b.inUse && b.tag == tag && b.valid[off] {
+				c.tick++
+				b.use = c.tick
+				// Hits read the word from the backing hierarchy's notion of
+				// memory; the Icache models presence (see ecache.fill).
+				return c.Backing.Mem.Peek(a), 0
+			}
+		}
+	}
+	// Miss: stall MissPenalty cycles while FetchBack words come back over
+	// the data pins, plus whatever the Ecache access costs.
+	c.Stats.Misses++
+	stall := c.cfg.MissPenalty
+	c.FSM.Run(c.cfg.MissPenalty)
+	var word isa.Word
+	for i := 0; i < c.cfg.FetchBack; i++ {
+		w, estall := c.Backing.Read(a + isa.Word(i))
+		stall += estall
+		c.Stats.WordsFetched++
+		if i == 0 {
+			word = w
+		}
+		c.install(a+isa.Word(i), w)
+	}
+	c.Stats.StallCycles += uint64(stall)
+	return word, stall
+}
+
+// install writes one fetched word into the cache (unless caching is off or
+// the word is a non-cacheable coprocessor instruction under the ablation).
+func (c *Cache) install(a isa.Word, w isa.Word) {
+	if c.cfg.Disabled {
+		return
+	}
+	set, tag, off := c.index(a)
+	// Existing block with this tag?
+	for i := range c.sets[set] {
+		b := &c.sets[set][i]
+		if b.inUse && b.tag == tag {
+			c.mark(b, off, w)
+			return
+		}
+	}
+	// Allocate: LRU victim among the ways.
+	victim := 0
+	var minUse uint64 = ^uint64(0)
+	for i := range c.sets[set] {
+		b := &c.sets[set][i]
+		if !b.inUse {
+			victim = i
+			break
+		}
+		if b.use < minUse {
+			victim, minUse = i, b.use
+		}
+	}
+	b := &c.sets[set][victim]
+	b.inUse = true
+	b.tag = tag
+	for i := range b.valid {
+		b.valid[i] = false
+		b.coproc[i] = false
+	}
+	c.mark(b, off, w)
+}
+
+func (c *Cache) mark(b *block, off int, w isa.Word) {
+	if c.cfg.NoCacheCoproc && c.isCoprocInstr(w) {
+		// The rejected proposal: a bit set in the cache prevents coprocessor
+		// instructions from ever being valid, forcing a miss each time so
+		// the coprocessor can snoop the instruction off the memory bus.
+		b.coproc[off] = true
+		b.valid[off] = false
+		return
+	}
+	b.valid[off] = true
+	c.tick++
+	b.use = c.tick
+}
+
+// Invalidate clears the whole cache (used at exception-space switches in
+// tests and by the tools).
+func (c *Cache) Invalidate() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			b := &c.sets[s][w]
+			b.inUse = false
+			for i := range b.valid {
+				b.valid[i] = false
+				b.coproc[i] = false
+			}
+		}
+	}
+}
+
+// StateBits returns the number of architected storage bits in the cache
+// (data + valid bits + tags), used by the Figure 2 state-accounting test.
+func (c *Cache) StateBits() int {
+	words := c.cfg.SizeWords()
+	tagBits := 32 - int(c.blkShift) - int(c.setBits) // tag width per block
+	return words*32 + words + c.cfg.Sets*c.cfg.Ways*tagBits
+}

@@ -1,0 +1,494 @@
+// Package isa defines the MIPS-X instruction set architecture as described
+// in Chow & Horowitz, "Architectural Tradeoffs in the Design of MIPS-X"
+// (ISCA 1987).
+//
+// The paper fixes the architectural constraints — all instructions are fixed
+// 32-bit words with trivially simple decode; memory operations add a register
+// to a 17-bit signed word offset; coprocessor operations are a form of memory
+// operation carrying a 3-bit coprocessor number and are transmitted over the
+// address lines; branches are compare-and-branch (no condition codes) with a
+// single squash bit; there are 32 general registers with r0 hardwired to
+// zero — but it does not publish exact bit positions for every field. The
+// layouts below satisfy every published constraint; where the paper is
+// silent, field positions were chosen for decode simplicity (the paper's own
+// first design maxim).
+//
+// Instruction classes (bits 31:30):
+//
+//	00 Memory / coprocessor:  class(2) op(3) rs1(5) rd(5) offset(17)
+//	01 Branch:                class(2) cond(3) sq(1) rs1(5) rs2(5) disp(16)
+//	10 Compute:               class(2) op(6) rs1(5) rs2(5) rd(5) func(9)
+//	11 Compute-immediate:     class(2) op(3) rs1(5) rd(5) imm(17)
+//
+// All addresses in this reproduction are word addresses, matching the
+// paper's word-oriented machine (512-word Icache, 64K-word Ecache, 17-bit
+// word offsets).
+package isa
+
+import "fmt"
+
+// Word is a 32-bit machine word. Addresses are word addresses.
+type Word = uint32
+
+// Reg names one of the 32 general-purpose registers. R0 reads as zero and
+// ignores writes.
+type Reg = uint8
+
+// Class is the 2-bit major opcode class (bits 31:30 of every instruction).
+type Class uint8
+
+// The four instruction classes. Decode dispatches on two bits, nothing more.
+const (
+	ClassMem Class = iota // loads, stores and coprocessor operations
+	ClassBranch
+	ClassCompute
+	ClassComputeImm
+)
+
+// MemOp is the 3-bit opcode within ClassMem.
+type MemOp uint8
+
+// Memory-class operations. In the paper's final coprocessor scheme, memory
+// instructions are a type of coprocessor instruction: Ldc/Stc/Cpw transmit
+// their computed "address" (rs1 + offset) over the address pins with the
+// memory-ignore pin asserted, and the top 3 bits of the 17-bit offset name
+// the coprocessor. Ldf/Stf give one special coprocessor (the FPU) direct
+// access to memory in a single instruction.
+const (
+	MemLd  MemOp = iota // rd := Mem[rs1+offset]
+	MemSt               // Mem[rs1+offset] := rd
+	MemLdf              // FPU reg rd := Mem[rs1+offset]    (load floating)
+	MemStf              // Mem[rs1+offset] := FPU reg rd    (store floating)
+	MemLdc              // rd := coprocessor-supplied data  (memory ignores cycle)
+	MemStc              // coprocessor absorbs rd           (memory ignores cycle)
+	MemCpw              // pure coprocessor command, no data transfer
+)
+
+// Cond is the 3-bit branch condition. All branches compare two registers
+// directly (compare-and-branch); MIPS-X has no condition codes.
+type Cond uint8
+
+// Branch conditions. Comparisons are signed.
+const (
+	CondEq Cond = iota
+	CondNe
+	CondLt
+	CondLe
+	CondGe
+	CondGt
+)
+
+// CompOp is the 6-bit opcode within ClassCompute.
+type CompOp uint8
+
+// Compute-class operations. The execute unit holds a 32-bit ALU and a
+// 64-bit-to-32-bit funnel shifter; multiplication and division are performed
+// by repeated step instructions using the MD register, as on the real chip.
+const (
+	CompAdd    CompOp = iota // rd := rs1 + rs2 (traps on overflow if enabled)
+	CompSub                  // rd := rs1 - rs2 (traps on overflow if enabled)
+	CompAddu                 // rd := rs1 + rs2, never traps
+	CompSubu                 // rd := rs1 - rs2, never traps
+	CompAnd                  // rd := rs1 & rs2
+	CompOr                   // rd := rs1 | rs2
+	CompXor                  // rd := rs1 ^ rs2
+	CompSh                   // rd := funnel(rs1:rs2) >> func&31 (see FunnelShift)
+	CompMstep                // one multiply step using MD
+	CompDstep                // one divide step using MD
+	CompMovs                 // rd := special register func (MOVFRS)
+	CompMots                 // special register func := rs1 (MOVTOS)
+	CompTrap                 // unconditional trap to the exception handler
+	CompJpc                  // jump via the PC chain (exception return step)
+	CompJpcrs                // jump via PC chain and restore PSW from PSWold
+	CompSetGt                // rd := 1 if rs1 > rs2 else 0 (signed)
+	CompSetLt                // rd := 1 if rs1 < rs2 else 0 (signed)
+	CompSetEq                // rd := 1 if rs1 == rs2 else 0
+	CompSetOvf               // rd := rs1+rs2 with the overflow bit routed into
+	// the sign (the paper's rejected SetOnAddOverflow alternative, kept for
+	// the overflow-mechanism ablation)
+)
+
+// ImmOp is the 3-bit opcode within ClassComputeImm.
+type ImmOp uint8
+
+// Compute-immediate operations. Addi with r0 loads small constants — the
+// paper notes that loading immediates is an "add immediate to Register 0".
+// Lhi is this reproduction's pragmatic two-instruction path to arbitrary
+// 32-bit constants (rd := rs1 + imm<<15); the real chip loaded large
+// constants from memory, which remains available via Ld.
+const (
+	ImmAddi  ImmOp = iota // rd := rs1 + imm (traps on overflow if enabled)
+	ImmJspci              // rd := return address; PC := rs1 + imm (jump indexed, save PC)
+	ImmLhi                // rd := rs1 + (imm << 15)
+	ImmAddiu              // rd := rs1 + imm, never traps
+)
+
+// Special register selectors for CompMovs / CompMots (in the func field).
+const (
+	SpecPSW    = 0 // processor status word
+	SpecPSWold = 1 // PSW saved at exception entry
+	SpecMD     = 2 // multiply/divide register
+	SpecPC0    = 3 // PC chain entry 0 (oldest)
+	SpecPC1    = 4 // PC chain entry 1
+	SpecPC2    = 5 // PC chain entry 2 (youngest)
+	NumSpecial = 6
+)
+
+// Field widths and limits.
+const (
+	NumRegs   = 32
+	OffsetMin = -(1 << 16) // 17-bit signed word offset
+	OffsetMax = 1<<16 - 1
+	DispMin   = -(1 << 15) // 16-bit signed branch displacement (words)
+	DispMax   = 1<<15 - 1
+	FuncMax   = 1<<9 - 1 // 9-bit compute function field
+)
+
+// NumCoprocessors is the number of addressable coprocessors. Coprocessor 0
+// is the main processor / memory system itself, per the paper.
+const NumCoprocessors = 8
+
+// Instruction is the decoded form of a 32-bit MIPS-X instruction word.
+// The zero Instruction decodes from word 0 and is "ld r0, 0(r0)", which is
+// harmless; the canonical no-op used by the reorganizer is Nop().
+type Instruction struct {
+	Class Class
+
+	// Op fields; which one is meaningful depends on Class.
+	Mem  MemOp
+	Cond Cond
+	Comp CompOp
+	Imm  ImmOp
+
+	Rs1, Rs2, Rd Reg
+
+	// Off is the signed 17-bit offset (memory class), the signed 16-bit
+	// branch displacement (branch class), or the signed 17-bit immediate
+	// (compute-immediate class), in words.
+	Off int32
+
+	// Func is the 9-bit compute function field (shift amount, special
+	// register selector, trap code).
+	Func uint16
+
+	// Squash is the branch squash bit: when set the two delay slots are
+	// squashed if the branch does NOT go (the compiler predicted taken).
+	// When clear the delay slots always execute.
+	Squash bool
+}
+
+// CoprocOff builds the 17-bit offset pattern for a coprocessor operation:
+// the 3-bit coprocessor number in the top bits and a 14-bit command below.
+// The result is the sign-extended value Decode would produce for the same
+// bit pattern, so instructions built with it round-trip through Encode.
+func CoprocOff(cp uint8, cmd uint16) int32 {
+	return signExtend(Word(cp&7)<<14|Word(cmd&0x3FFF), 17)
+}
+
+// CoprocNum returns the coprocessor addressed by a Ldc/Stc/Cpw instruction:
+// the top 3 bits of the 17-bit offset constant, as in the paper's final
+// interface ("the instruction would include a 3-bit field to specify the
+// coprocessor being addressed").
+func (in Instruction) CoprocNum() uint8 {
+	return uint8(in.Off>>14) & 7
+}
+
+// IsCoproc reports whether the instruction is a coprocessor operation
+// (transmitted over the address pins with the memory-ignore pin asserted).
+func (in Instruction) IsCoproc() bool {
+	return in.Class == ClassMem && (in.Mem == MemLdc || in.Mem == MemStc || in.Mem == MemCpw)
+}
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (in Instruction) IsBranch() bool { return in.Class == ClassBranch }
+
+// IsJump reports whether the instruction is an unconditional jump (jspci or
+// an exception-return jump).
+func (in Instruction) IsJump() bool {
+	switch in.Class {
+	case ClassComputeImm:
+		return in.Imm == ImmJspci
+	case ClassCompute:
+		return in.Comp == CompJpc || in.Comp == CompJpcrs
+	}
+	return false
+}
+
+// IsLoad reports whether the instruction produces a register value in MEM
+// (loads and coprocessor-to-register transfers), which is what creates the
+// one-cycle load-delay interlock the reorganizer must respect.
+func (in Instruction) IsLoad() bool {
+	return in.Class == ClassMem && (in.Mem == MemLd || in.Mem == MemLdc)
+}
+
+// IsStore reports whether the instruction writes memory.
+func (in Instruction) IsStore() bool {
+	return in.Class == ClassMem && (in.Mem == MemSt || in.Mem == MemStf)
+}
+
+// IsMemData reports whether the instruction performs an external (Ecache)
+// data access during MEM: loads, stores, and the FPU's direct ldf/stf.
+func (in Instruction) IsMemData() bool {
+	if in.Class != ClassMem {
+		return false
+	}
+	switch in.Mem {
+	case MemLd, MemSt, MemLdf, MemStf:
+		return true
+	}
+	return false
+}
+
+// IsNop reports whether the instruction is the canonical no-op.
+func (in Instruction) IsNop() bool {
+	return in.Class == ClassCompute && in.Comp == CompAdd &&
+		in.Rs1 == 0 && in.Rs2 == 0 && in.Rd == 0 && in.Func == 0
+}
+
+// Nop returns the canonical no-op instruction (add r0, r0, r0).
+func Nop() Instruction {
+	return Instruction{Class: ClassCompute, Comp: CompAdd}
+}
+
+// WritesReg returns the general register written by the instruction and
+// true, or 0 and false when the instruction writes no general register
+// (writes to r0 count as writing no register).
+func (in Instruction) WritesReg() (Reg, bool) {
+	var r Reg
+	switch in.Class {
+	case ClassMem:
+		if in.Mem == MemLd || in.Mem == MemLdc {
+			r = in.Rd
+		}
+	case ClassCompute:
+		switch in.Comp {
+		case CompAdd, CompSub, CompAddu, CompSubu, CompAnd, CompOr, CompXor,
+			CompSh, CompMstep, CompDstep, CompMovs,
+			CompSetGt, CompSetLt, CompSetEq, CompSetOvf:
+			r = in.Rd
+		}
+	case ClassComputeImm:
+		r = in.Rd
+	}
+	if r == 0 {
+		return 0, false
+	}
+	return r, true
+}
+
+// ReadsRegs returns the general registers the instruction reads. Reads of r0
+// are omitted (r0 is the hardwired zero and never creates a dependence).
+func (in Instruction) ReadsRegs() []Reg {
+	var rs []Reg
+	add := func(r Reg) {
+		if r != 0 {
+			rs = append(rs, r)
+		}
+	}
+	switch in.Class {
+	case ClassMem:
+		add(in.Rs1)
+		// Stores and register-to-coprocessor transfers read rd as data.
+		if in.Mem == MemSt || in.Mem == MemStc {
+			add(in.Rd)
+		}
+	case ClassBranch:
+		add(in.Rs1)
+		add(in.Rs2)
+	case ClassCompute:
+		switch in.Comp {
+		case CompAdd, CompSub, CompAddu, CompSubu, CompAnd, CompOr, CompXor,
+			CompSh, CompMstep, CompDstep,
+			CompSetGt, CompSetLt, CompSetEq, CompSetOvf:
+			add(in.Rs1)
+			add(in.Rs2)
+		case CompMots:
+			add(in.Rs1)
+		}
+	case ClassComputeImm:
+		add(in.Rs1)
+	}
+	return rs
+}
+
+// Encode packs the instruction into its 32-bit word form.
+func (in Instruction) Encode() Word {
+	w := Word(in.Class) << 30
+	switch in.Class {
+	case ClassMem:
+		w |= Word(in.Mem&7) << 27
+		w |= Word(in.Rs1&31) << 22
+		w |= Word(in.Rd&31) << 17
+		w |= Word(uint32(in.Off) & 0x1FFFF)
+	case ClassBranch:
+		w |= Word(in.Cond&7) << 27
+		if in.Squash {
+			w |= 1 << 26
+		}
+		w |= Word(in.Rs1&31) << 21
+		w |= Word(in.Rs2&31) << 16
+		w |= Word(uint32(in.Off) & 0xFFFF)
+	case ClassCompute:
+		w |= Word(in.Comp&63) << 24
+		w |= Word(in.Rs1&31) << 19
+		w |= Word(in.Rs2&31) << 14
+		w |= Word(in.Rd&31) << 9
+		w |= Word(in.Func & 0x1FF)
+	case ClassComputeImm:
+		w |= Word(in.Imm&7) << 27
+		w |= Word(in.Rs1&31) << 22
+		w |= Word(in.Rd&31) << 17
+		w |= Word(uint32(in.Off) & 0x1FFFF)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit instruction word. Decode is total: every word
+// decodes to some instruction, as on the real machine (there is no illegal
+// instruction trap in the paper's design; "simple decode" three times over).
+func Decode(w Word) Instruction {
+	var in Instruction
+	in.Class = Class(w >> 30)
+	switch in.Class {
+	case ClassMem:
+		in.Mem = MemOp(w >> 27 & 7)
+		in.Rs1 = Reg(w >> 22 & 31)
+		in.Rd = Reg(w >> 17 & 31)
+		in.Off = signExtend(w&0x1FFFF, 17)
+	case ClassBranch:
+		in.Cond = Cond(w >> 27 & 7)
+		in.Squash = w>>26&1 == 1
+		in.Rs1 = Reg(w >> 21 & 31)
+		in.Rs2 = Reg(w >> 16 & 31)
+		in.Off = signExtend(w&0xFFFF, 16)
+	case ClassCompute:
+		in.Comp = CompOp(w >> 24 & 63)
+		in.Rs1 = Reg(w >> 19 & 31)
+		in.Rs2 = Reg(w >> 14 & 31)
+		in.Rd = Reg(w >> 9 & 31)
+		in.Func = uint16(w & 0x1FF)
+	case ClassComputeImm:
+		in.Imm = ImmOp(w >> 27 & 7)
+		in.Rs1 = Reg(w >> 22 & 31)
+		in.Rd = Reg(w >> 17 & 31)
+		in.Off = signExtend(w&0x1FFFF, 17)
+	}
+	return in
+}
+
+func signExtend(v Word, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// EvalCond evaluates a branch condition over two register values using
+// signed comparison, exactly as the ALU does during the branch's ALU
+// pipestage.
+func EvalCond(c Cond, a, b Word) bool {
+	sa, sb := int32(a), int32(b)
+	switch c {
+	case CondEq:
+		return a == b
+	case CondNe:
+		return a != b
+	case CondLt:
+		return sa < sb
+	case CondLe:
+		return sa <= sb
+	case CondGe:
+		return sa >= sb
+	case CondGt:
+		return sa > sb
+	}
+	return false
+}
+
+// NegateCond returns the condition with the opposite sense, used by the
+// reorganizer when it reverses a branch to improve prediction.
+func NegateCond(c Cond) Cond {
+	switch c {
+	case CondEq:
+		return CondNe
+	case CondNe:
+		return CondEq
+	case CondLt:
+		return CondGe
+	case CondLe:
+		return CondGt
+	case CondGe:
+		return CondLt
+	case CondGt:
+		return CondLe
+	}
+	return c
+}
+
+// FunnelShift implements the 64-bit-to-32-bit funnel shifter: it forms the
+// 64-bit value hi:lo and returns bits [amt+31 : amt]. Logical and arithmetic
+// shifts and rotates are all compositions of this primitive:
+//
+//	srl rd, rs, n  =  funnel(0,  rs)  >> n
+//	sra rd, rs, n  =  funnel(s,  rs)  >> n   where s = rs>>31 replicated
+//	sll rd, rs, n  =  funnel(rs, 0)   >> (32-n)
+//	rot rd, rs, n  =  funnel(rs, rs)  >> n
+func FunnelShift(hi, lo Word, amt uint) Word {
+	amt &= 31
+	if amt == 0 {
+		return lo
+	}
+	return lo>>amt | hi<<(32-amt)
+}
+
+// AddOverflows reports whether a+b overflows as a signed 32-bit addition.
+func AddOverflows(a, b Word) bool {
+	s := a + b
+	return (a^s)&(b^s)>>31 == 1
+}
+
+// SubOverflows reports whether a-b overflows as a signed 32-bit subtraction.
+func SubOverflows(a, b Word) bool {
+	d := a - b
+	return (a^b)&(a^d)>>31 == 1
+}
+
+// Validate reports an error when the instruction's fields do not fit their
+// encodings; Encode would silently truncate them. The assembler and compiler
+// call this before emitting.
+func (in Instruction) Validate() error {
+	if in.Rs1 >= NumRegs || in.Rs2 >= NumRegs || in.Rd >= NumRegs {
+		return fmt.Errorf("isa: register out of range in %v", in)
+	}
+	switch in.Class {
+	case ClassMem:
+		if in.Mem > MemCpw {
+			return fmt.Errorf("isa: bad memory op %d", in.Mem)
+		}
+		if in.Off < OffsetMin || in.Off > OffsetMax {
+			return fmt.Errorf("isa: offset %d outside 17-bit range", in.Off)
+		}
+	case ClassBranch:
+		if in.Cond > CondGt {
+			return fmt.Errorf("isa: bad condition %d", in.Cond)
+		}
+		if in.Off < DispMin || in.Off > DispMax {
+			return fmt.Errorf("isa: branch displacement %d outside 16-bit range", in.Off)
+		}
+	case ClassCompute:
+		if in.Comp > CompSetOvf {
+			return fmt.Errorf("isa: bad compute op %d", in.Comp)
+		}
+		if in.Func > FuncMax {
+			return fmt.Errorf("isa: func %d outside 9-bit range", in.Func)
+		}
+	case ClassComputeImm:
+		if in.Imm > ImmAddiu {
+			return fmt.Errorf("isa: bad immediate op %d", in.Imm)
+		}
+		if in.Off < OffsetMin || in.Off > OffsetMax {
+			return fmt.Errorf("isa: immediate %d outside 17-bit range", in.Off)
+		}
+	default:
+		return fmt.Errorf("isa: bad class %d", in.Class)
+	}
+	return nil
+}

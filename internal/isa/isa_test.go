@@ -1,0 +1,339 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randInstr produces a random but Validate-clean instruction.
+func randInstr(r *rand.Rand) Instruction {
+	var in Instruction
+	in.Class = Class(r.Intn(4))
+	switch in.Class {
+	case ClassMem:
+		in.Mem = MemOp(r.Intn(int(MemCpw) + 1))
+		in.Rs1 = Reg(r.Intn(NumRegs))
+		in.Rd = Reg(r.Intn(NumRegs))
+		in.Off = int32(r.Intn(OffsetMax-OffsetMin+1)) + OffsetMin
+	case ClassBranch:
+		in.Cond = Cond(r.Intn(int(CondGt) + 1))
+		in.Squash = r.Intn(2) == 1
+		in.Rs1 = Reg(r.Intn(NumRegs))
+		in.Rs2 = Reg(r.Intn(NumRegs))
+		in.Off = int32(r.Intn(DispMax-DispMin+1)) + DispMin
+	case ClassCompute:
+		in.Comp = CompOp(r.Intn(int(CompSetOvf) + 1))
+		in.Rs1 = Reg(r.Intn(NumRegs))
+		in.Rs2 = Reg(r.Intn(NumRegs))
+		in.Rd = Reg(r.Intn(NumRegs))
+		in.Func = uint16(r.Intn(FuncMax + 1))
+	case ClassComputeImm:
+		in.Imm = ImmOp(r.Intn(int(ImmAddiu) + 1))
+		in.Rs1 = Reg(r.Intn(NumRegs))
+		in.Rd = Reg(r.Intn(NumRegs))
+		in.Off = int32(r.Intn(OffsetMax-OffsetMin+1)) + OffsetMin
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		in := randInstr(r)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("randInstr produced invalid instruction: %v", err)
+		}
+		got := Decode(in.Encode())
+		if got != in {
+			t.Fatalf("round trip failed:\n in  %+v\n got %+v\n word %08x", in, got, in.Encode())
+		}
+	}
+}
+
+func TestDecodeEncodeTotal(t *testing.T) {
+	// Decode must be total and Decode∘Encode idempotent on the decoded form,
+	// even for words whose op fields exceed the defined ops.
+	f := func(w uint32) bool {
+		in := Decode(w)
+		return Decode(in.Encode()) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignExtension(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want int32
+	}{
+		{Instruction{Class: ClassMem, Mem: MemLd, Off: -1}, -1},
+		{Instruction{Class: ClassMem, Mem: MemLd, Off: OffsetMin}, OffsetMin},
+		{Instruction{Class: ClassMem, Mem: MemLd, Off: OffsetMax}, OffsetMax},
+		{Instruction{Class: ClassBranch, Off: DispMin}, DispMin},
+		{Instruction{Class: ClassBranch, Off: DispMax}, DispMax},
+		{Instruction{Class: ClassComputeImm, Imm: ImmAddi, Off: -12345}, -12345},
+	}
+	for _, c := range cases {
+		got := Decode(c.in.Encode())
+		if got.Off != c.want {
+			t.Errorf("offset %d round-tripped to %d", c.want, got.Off)
+		}
+	}
+}
+
+func TestCoprocNum(t *testing.T) {
+	for cp := 0; cp < NumCoprocessors; cp++ {
+		in := Instruction{Class: ClassMem, Mem: MemCpw, Off: int32(cp)<<14 | 0x123}
+		in = Decode(in.Encode())
+		if got := in.CoprocNum(); got != uint8(cp) {
+			t.Errorf("coproc %d decoded as %d", cp, got)
+		}
+		if !in.IsCoproc() {
+			t.Errorf("cpw to c%d not recognized as coprocessor op", cp)
+		}
+	}
+	ld := Instruction{Class: ClassMem, Mem: MemLd, Off: 7 << 14}
+	if ld.IsCoproc() {
+		t.Error("plain load misclassified as coprocessor op")
+	}
+}
+
+func TestEvalCond(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		a, b Word
+		want bool
+	}{
+		{CondEq, 5, 5, true},
+		{CondEq, 5, 6, false},
+		{CondNe, 5, 6, true},
+		{CondLt, 0xFFFFFFFF, 0, true},  // -1 < 0 signed
+		{CondLt, 0, 0xFFFFFFFF, false}, // 0 < -1 signed is false
+		{CondLe, 7, 7, true},
+		{CondGe, 7, 7, true},
+		{CondGt, 8, 7, true},
+		{CondGt, 0x80000000, 0, false}, // INT_MIN > 0 is false
+	}
+	for _, c := range cases {
+		if got := EvalCond(c.c, c.a, c.b); got != c.want {
+			t.Errorf("EvalCond(%s, %#x, %#x) = %v, want %v", CondName(c.c), c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNegateCondIsInvolution(t *testing.T) {
+	for c := CondEq; c <= CondGt; c++ {
+		if NegateCond(NegateCond(c)) != c {
+			t.Errorf("NegateCond not an involution for %s", CondName(c))
+		}
+		// Negated condition must evaluate opposite on arbitrary values.
+		f := func(a, b uint32) bool {
+			return EvalCond(c, a, b) != EvalCond(NegateCond(c), a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("negation of %s not opposite: %v", CondName(c), err)
+		}
+	}
+}
+
+func TestFunnelShift(t *testing.T) {
+	// srl
+	if got := FunnelShift(0, 0x80000000, 31); got != 1 {
+		t.Errorf("srl by 31: got %#x", got)
+	}
+	// sll rd, rs, n == funnel(rs, 0) >> (32-n); here n=4
+	if got := FunnelShift(0x0000000F, 0, 32-4); got != 0xF0 {
+		t.Errorf("sll by 4: got %#x", got)
+	}
+	// rotate
+	if got := FunnelShift(0x12345678, 0x12345678, 8); got != 0x78123456 {
+		t.Errorf("rot by 8: got %#x", got)
+	}
+	// amt 0 returns lo
+	if got := FunnelShift(0xAAAAAAAA, 0x55555555, 0); got != 0x55555555 {
+		t.Errorf("shift by 0: got %#x", got)
+	}
+	// sra: hi = sign replication
+	v := Word(0xF0000000)
+	if got := FunnelShift(0xFFFFFFFF, v, 4); got != 0xFF000000 {
+		t.Errorf("sra by 4: got %#x", got)
+	}
+}
+
+func TestOverflowDetection(t *testing.T) {
+	cases := []struct {
+		a, b     Word
+		add, sub bool
+	}{
+		{0x7FFFFFFF, 1, true, false},
+		{0x80000000, 0x80000000, true, false}, // INT_MIN + INT_MIN overflows
+		{0x80000000, 1, false, true},          // INT_MIN - 1 overflows
+		{1, 2, false, false},
+		{0xFFFFFFFF, 1, false, false},          // -1 + 1 = 0, fine
+		{0, 0x80000000, false, true},           // 0 - INT_MIN overflows
+		{0x7FFFFFFF, 0xFFFFFFFF, false, false}, // INT_MAX - (-1)... overflow!
+	}
+	// Fix the last case: INT_MAX - (-1) = INT_MAX+1 overflows.
+	cases[len(cases)-1].sub = true
+	for _, c := range cases {
+		if got := AddOverflows(c.a, c.b); got != c.add {
+			t.Errorf("AddOverflows(%#x, %#x) = %v, want %v", c.a, c.b, got, c.add)
+		}
+		if got := SubOverflows(c.a, c.b); got != c.sub {
+			t.Errorf("SubOverflows(%#x, %#x) = %v, want %v", c.a, c.b, got, c.sub)
+		}
+	}
+	// Cross-check against 64-bit arithmetic.
+	f := func(a, b uint32) bool {
+		s := int64(int32(a)) + int64(int32(b))
+		d := int64(int32(a)) - int64(int32(b))
+		wantAdd := s > 0x7FFFFFFF || s < -0x80000000
+		wantSub := d > 0x7FFFFFFF || d < -0x80000000
+		return AddOverflows(a, b) == wantAdd && SubOverflows(a, b) == wantSub
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadsWritesRegs(t *testing.T) {
+	cases := []struct {
+		in     Instruction
+		reads  []Reg
+		writes Reg
+		wOK    bool
+	}{
+		{Instruction{Class: ClassCompute, Comp: CompAdd, Rs1: 1, Rs2: 2, Rd: 3}, []Reg{1, 2}, 3, true},
+		{Instruction{Class: ClassCompute, Comp: CompAdd, Rs1: 0, Rs2: 0, Rd: 0}, nil, 0, false}, // nop
+		{Instruction{Class: ClassMem, Mem: MemLd, Rs1: 4, Rd: 5}, []Reg{4}, 5, true},
+		{Instruction{Class: ClassMem, Mem: MemSt, Rs1: 4, Rd: 5}, []Reg{4, 5}, 0, false},
+		{Instruction{Class: ClassBranch, Cond: CondEq, Rs1: 6, Rs2: 7}, []Reg{6, 7}, 0, false},
+		{Instruction{Class: ClassComputeImm, Imm: ImmJspci, Rs1: 8, Rd: RegRA}, []Reg{8}, RegRA, true},
+		{Instruction{Class: ClassMem, Mem: MemStc, Rs1: 1, Rd: 9}, []Reg{1, 9}, 0, false},
+		{Instruction{Class: ClassMem, Mem: MemLdc, Rs1: 1, Rd: 9}, []Reg{1}, 9, true},
+		{Instruction{Class: ClassCompute, Comp: CompMots, Rs1: 10, Func: SpecPSW}, []Reg{10}, 0, false},
+	}
+	for _, c := range cases {
+		got := c.in.ReadsRegs()
+		if len(got) != len(c.reads) {
+			t.Errorf("%v reads %v, want %v", c.in, got, c.reads)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.reads[i] {
+				t.Errorf("%v reads %v, want %v", c.in, got, c.reads)
+			}
+		}
+		r, ok := c.in.WritesReg()
+		if r != c.writes || ok != c.wOK {
+			t.Errorf("%v writes (%d,%v), want (%d,%v)", c.in, r, ok, c.writes, c.wOK)
+		}
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	br := Instruction{Class: ClassBranch, Cond: CondLt}
+	if !br.IsBranch() || br.IsJump() || br.IsLoad() {
+		t.Error("branch predicates wrong")
+	}
+	j := Instruction{Class: ClassComputeImm, Imm: ImmJspci, Rd: RegRA}
+	if !j.IsJump() || j.IsBranch() {
+		t.Error("jspci predicates wrong")
+	}
+	jpc := Instruction{Class: ClassCompute, Comp: CompJpc}
+	if !jpc.IsJump() {
+		t.Error("jpc should be a jump")
+	}
+	ld := Instruction{Class: ClassMem, Mem: MemLd, Rd: 1}
+	if !ld.IsLoad() || !ld.IsMemData() || ld.IsStore() {
+		t.Error("load predicates wrong")
+	}
+	st := Instruction{Class: ClassMem, Mem: MemSt, Rd: 1}
+	if st.IsLoad() || !st.IsMemData() || !st.IsStore() {
+		t.Error("store predicates wrong")
+	}
+	ldf := Instruction{Class: ClassMem, Mem: MemLdf, Rd: 1}
+	if !ldf.IsMemData() || ldf.IsLoad() {
+		t.Error("ldf is a memory data access but not a register load")
+	}
+	cpw := Instruction{Class: ClassMem, Mem: MemCpw, Off: 1 << 14}
+	if cpw.IsMemData() || !cpw.IsCoproc() {
+		t.Error("cpw must not touch memory")
+	}
+	if !Nop().IsNop() {
+		t.Error("Nop() not recognized by IsNop")
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	bad := []Instruction{
+		{Class: ClassMem, Mem: MemLd, Off: OffsetMax + 1},
+		{Class: ClassMem, Mem: MemLd, Off: OffsetMin - 1},
+		{Class: ClassBranch, Cond: CondEq, Off: DispMax + 1},
+		{Class: ClassCompute, Comp: CompAdd, Func: FuncMax + 1},
+		{Class: ClassCompute, Comp: CompSetOvf + 1},
+		{Class: ClassComputeImm, Imm: ImmAddiu + 1},
+		{Class: ClassMem, Mem: MemLd, Rs1: NumRegs},
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", in)
+		}
+	}
+}
+
+func TestPSW(t *testing.T) {
+	p := ResetPSW
+	if !p.System() || p.IntEnabled() || !p.ShiftEnabled() {
+		t.Fatalf("reset PSW wrong: %#x", Word(p))
+	}
+	e := ExceptionEntryPSW(PSWCauseOvf)
+	if !e.System() || e.IntEnabled() || e.ShiftEnabled() {
+		t.Fatalf("exception-entry PSW wrong: %#x", Word(e))
+	}
+	if e&CauseMask != PSWCauseOvf {
+		t.Fatalf("cause not recorded: %#x", Word(e))
+	}
+	p2 := (PSWIntEnable | PSWCauseInt).WithCause(PSWCauseNMI)
+	if p2&CauseMask != PSWCauseNMI || !p2.IntEnabled() {
+		t.Fatalf("WithCause wrong: %#x", Word(p2))
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		name := RegName(r)
+		got, ok := ParseReg(name)
+		if !ok || got != r {
+			t.Errorf("ParseReg(RegName(%d)=%q) = %d,%v", r, name, got, ok)
+		}
+	}
+	for _, bad := range []string{"", "r", "r32", "r99", "x1", "r-1", "r1x"} {
+		if _, ok := ParseReg(bad); ok {
+			t.Errorf("ParseReg accepted %q", bad)
+		}
+	}
+	if r, ok := ParseReg("rv"); !ok || r != RegRV {
+		t.Error("rv alias broken")
+	}
+}
+
+func TestStringRoundTripStability(t *testing.T) {
+	// String must be deterministic and non-empty for every decodable word.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		in := randInstr(r)
+		s := in.String()
+		if s == "" {
+			t.Fatalf("empty disassembly for %+v", in)
+		}
+		if s != in.String() {
+			t.Fatalf("unstable disassembly for %+v", in)
+		}
+	}
+	if Nop().String() != "nop" {
+		t.Errorf("nop renders as %q", Nop().String())
+	}
+}

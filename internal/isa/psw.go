@@ -1,0 +1,56 @@
+package isa
+
+// PSW is the processor status word. The paper specifies that the PSW holds
+// the current operating mode (system/user), that the mode can only be
+// changed in system mode, and that it contains bits recording whether an
+// exception was caused by an interrupt, arithmetic overflow or a
+// non-maskable interrupt. The sticky-overflow bit exists only to support the
+// paper's rejected overflow mechanism, which this reproduction keeps as an
+// ablation (experiment E8).
+type PSW Word
+
+// PSW bit assignments.
+const (
+	PSWSystem      PSW = 1 << 0 // 1 = system mode (separate address space)
+	PSWIntEnable   PSW = 1 << 1 // maskable interrupts enabled
+	PSWOvfTrap     PSW = 1 << 2 // trap on arithmetic overflow enabled
+	PSWStickyOvf   PSW = 1 << 3 // sticky overflow (rejected design, ablation)
+	PSWCauseInt    PSW = 1 << 4 // exception cause: maskable interrupt
+	PSWCauseOvf    PSW = 1 << 5 // exception cause: arithmetic overflow
+	PSWCauseNMI    PSW = 1 << 6 // exception cause: non-maskable interrupt
+	PSWCauseTrap   PSW = 1 << 7 // exception cause: trap instruction
+	PSWCauseCoproc PSW = 1 << 8 // exception cause: coprocessor signal
+	PSWShiftEnable PSW = 1 << 9 // PC chain shifting enabled (frozen during
+	// exception entry; the handler re-enables it after saving the chain)
+)
+
+// CauseMask selects all exception-cause bits.
+const CauseMask = PSWCauseInt | PSWCauseOvf | PSWCauseNMI | PSWCauseTrap | PSWCauseCoproc
+
+// System reports whether the processor is in system mode.
+func (p PSW) System() bool { return p&PSWSystem != 0 }
+
+// IntEnabled reports whether maskable interrupts are enabled.
+func (p PSW) IntEnabled() bool { return p&PSWIntEnable != 0 }
+
+// OvfTrapEnabled reports whether arithmetic overflow raises a trap.
+func (p PSW) OvfTrapEnabled() bool { return p&PSWOvfTrap != 0 }
+
+// ShiftEnabled reports whether the PC chain shifts each cycle.
+func (p PSW) ShiftEnabled() bool { return p&PSWShiftEnable != 0 }
+
+// WithCause returns the PSW with exactly the given cause bits set.
+func (p PSW) WithCause(cause PSW) PSW { return p&^CauseMask | cause&CauseMask }
+
+// ResetPSW is the PSW state after hardware reset: system mode, interrupts
+// off, overflow trap off, PC chain shifting on.
+const ResetPSW = PSWSystem | PSWShiftEnable
+
+// ExceptionEntryPSW computes the PSW installed when an exception is taken:
+// the machine enters system mode, masks interrupts, freezes the PC chain,
+// and records the cause. Everything else is cleared — the handler gets a
+// minimal, predictable state, in keeping with the paper's
+// keep-it-simple-stupid rule.
+func ExceptionEntryPSW(cause PSW) PSW {
+	return (PSWSystem | cause) &^ PSWShiftEnable
+}

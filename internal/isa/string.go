@@ -1,0 +1,100 @@
+package isa
+
+import "fmt"
+
+var memNames = [...]string{"ld", "st", "ldf", "stf", "ldc", "stc", "cpw"}
+var condNames = [...]string{"beq", "bne", "blt", "ble", "bge", "bgt", "b?6", "b?7"}
+var compNames = [...]string{
+	"add", "sub", "addu", "subu", "and", "or", "xor", "sh",
+	"mstep", "dstep", "movs", "mots", "trap", "jpc", "jpcrs",
+	"setgt", "setlt", "seteq", "setovf",
+}
+var immNames = [...]string{"addi", "jspci", "lhi", "addiu"}
+var specNames = [...]string{"psw", "pswold", "md", "pc0", "pc1", "pc2"}
+
+// MemName returns the mnemonic for a memory-class op.
+func MemName(op MemOp) string {
+	if int(op) < len(memNames) {
+		return memNames[op]
+	}
+	return fmt.Sprintf("mem?%d", op)
+}
+
+// CondName returns the branch mnemonic for a condition.
+func CondName(c Cond) string { return condNames[c&7] }
+
+// CompName returns the mnemonic for a compute-class op.
+func CompName(op CompOp) string {
+	if int(op) < len(compNames) {
+		return compNames[op]
+	}
+	return fmt.Sprintf("comp?%d", op)
+}
+
+// ImmName returns the mnemonic for a compute-immediate op.
+func ImmName(op ImmOp) string {
+	if int(op) < len(immNames) {
+		return immNames[op]
+	}
+	return fmt.Sprintf("imm?%d", op)
+}
+
+// SpecName returns the name of a special register selector.
+func SpecName(f uint16) string {
+	if int(f) < len(specNames) {
+		return specNames[f]
+	}
+	return fmt.Sprintf("spec?%d", f)
+}
+
+// String renders the instruction in the assembler's input syntax, so that
+// disassembled output can be re-assembled.
+func (in Instruction) String() string {
+	switch in.Class {
+	case ClassMem:
+		switch in.Mem {
+		case MemLd, MemSt, MemLdf, MemStf:
+			return fmt.Sprintf("%s %s, %d(%s)", MemName(in.Mem), RegName(in.Rd), in.Off, RegName(in.Rs1))
+		default:
+			// Coprocessor ops: show the coprocessor number and the low
+			// 14 bits of the offset (the coprocessor's private command).
+			return fmt.Sprintf("%s %s, c%d, %d(%s)", MemName(in.Mem), RegName(in.Rd),
+				in.CoprocNum(), in.Off&0x3FFF, RegName(in.Rs1))
+		}
+	case ClassBranch:
+		sq := ""
+		if in.Squash {
+			sq = ".sq"
+		}
+		return fmt.Sprintf("%s%s %s, %s, %d", CondName(in.Cond), sq,
+			RegName(in.Rs1), RegName(in.Rs2), in.Off)
+	case ClassCompute:
+		switch in.Comp {
+		case CompSh:
+			return fmt.Sprintf("sh %s, %s, %s, %d", RegName(in.Rd), RegName(in.Rs1), RegName(in.Rs2), in.Func&31)
+		case CompMovs:
+			return fmt.Sprintf("movs %s, %s", RegName(in.Rd), SpecName(in.Func))
+		case CompMots:
+			return fmt.Sprintf("mots %s, %s", SpecName(in.Func), RegName(in.Rs1))
+		case CompTrap:
+			return fmt.Sprintf("trap %d", in.Func)
+		case CompJpc, CompJpcrs:
+			return CompName(in.Comp)
+		default:
+			if in.IsNop() {
+				return "nop"
+			}
+			return fmt.Sprintf("%s %s, %s, %s", CompName(in.Comp),
+				RegName(in.Rd), RegName(in.Rs1), RegName(in.Rs2))
+		}
+	case ClassComputeImm:
+		switch in.Imm {
+		case ImmJspci:
+			return fmt.Sprintf("jspci %s, %d(%s)", RegName(in.Rd), in.Off, RegName(in.Rs1))
+		default:
+			return fmt.Sprintf("%s %s, %s, %d", ImmName(in.Imm),
+				RegName(in.Rd), RegName(in.Rs1), in.Off)
+		}
+	}
+	return fmt.Sprintf("?class%d", in.Class)
+}

@@ -1,0 +1,53 @@
+package mem
+
+import "testing"
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New()
+	m.Write(0, 1)
+	m.Write(4095, 2)
+	m.Write(4096, 3) // next page
+	m.Write(1<<31, 4)
+	if m.Read(0) != 1 || m.Read(4095) != 2 || m.Read(4096) != 3 || m.Read(1<<31) != 4 {
+		t.Fatal("round trip failed")
+	}
+	if m.Read(99) != 0 {
+		t.Fatal("unwritten word not zero")
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	m := New()
+	m.Write(1, 1)
+	m.Read(1)
+	m.Read(2)
+	if m.Writes != 1 || m.Reads != 2 {
+		t.Fatalf("counters wrong: %d writes, %d reads", m.Writes, m.Reads)
+	}
+	m.Peek(1)
+	if m.Reads != 2 {
+		t.Fatal("Peek counted as a read")
+	}
+}
+
+func TestLoadImage(t *testing.T) {
+	m := New()
+	m.LoadImage(100, []uint32{7, 8, 9})
+	if m.Peek(100) != 7 || m.Peek(102) != 9 {
+		t.Fatal("image not loaded")
+	}
+	if m.Reads != 0 || m.Writes != 0 {
+		t.Fatal("LoadImage should not count as traffic")
+	}
+}
+
+func TestBusCosts(t *testing.T) {
+	b := DefaultBus()
+	c := b.TransferCost(4)
+	if c != b.Latency+4*b.PerWord {
+		t.Fatalf("cost %d", c)
+	}
+	if b.Transfers != 1 || b.WordsCarried != 4 || b.BusyCycles != uint64(c) {
+		t.Fatalf("bus accounting wrong: %+v", b)
+	}
+}

@@ -1,0 +1,146 @@
+// Package multi implements the system the MIPS-X processor was designed to
+// be a node of: "to use 6-10 of these processors as the nodes in a shared
+// memory multiprocessor. The resulting machine would be about two orders of
+// magnitude more powerful than a VAX 11/780 minicomputer."
+//
+// Each node is a complete MIPS-X (pipeline + Icache + Ecache); all nodes
+// share one main memory behind one physical bus, arbitrated
+// first-come-first-served. The paper's two-level cache argument is what
+// makes the cluster work at all: the on-chip Icache cuts each node's pin
+// bandwidth to a small fraction of its demand (experiment E9), so several
+// nodes fit on one bus before it saturates. The scaling experiment (E11)
+// measures exactly that — an extension beyond the paper's own evaluation,
+// which stopped at the uniprocessor.
+package multi
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/reorg"
+	"repro/internal/tinyc"
+)
+
+// Cluster is a shared-memory multiprocessor of MIPS-X nodes.
+type Cluster struct {
+	Nodes []*core.Machine
+	Mem   *mem.Memory
+	Arb   *mem.Arbiter
+}
+
+// New builds a cluster of n nodes with identical configuration sharing one
+// memory and one bus.
+func New(n int, cfg core.Config) *Cluster {
+	c := &Cluster{Mem: mem.New(), Arb: &mem.Arbiter{}}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, core.NewShared(cfg, c.Mem, c.Arb, nil))
+	}
+	return c
+}
+
+// LoadPrograms builds one tinyc program per node, packed into disjoint
+// regions of the shared memory: code and static data sequentially in low
+// memory (inside the 17-bit absolute addressing window), heaps and stacks
+// striped above. Each node is reset to its own program's entry point.
+func (c *Cluster) LoadPrograms(srcs []string, scheme reorg.Scheme) error {
+	if len(srcs) != len(c.Nodes) {
+		return fmt.Errorf("multi: %d programs for %d nodes", len(srcs), len(c.Nodes))
+	}
+	base := uint32(0)
+	for i, src := range srcs {
+		layout := tinyc.Layout{
+			HeapBase: uint32(1<<17 + i*(1<<16)),
+			StackTop: uint32(1<<17 + i*(1<<16) + 3<<14),
+		}
+		im, err := tinyc.BuildLayout(src, scheme, nil, layout, base)
+		if err != nil {
+			return fmt.Errorf("multi: node %d: %w", i, err)
+		}
+		end := base + uint32(len(im.Words))
+		if end >= 1<<16 {
+			return fmt.Errorf("multi: programs overflow the 17-bit code window at node %d", i)
+		}
+		c.Nodes[i].Load(im)
+		base = (end + 63) &^ 63 // keep nodes' code on distinct Icache blocks
+	}
+	return nil
+}
+
+// Run advances the cluster until every node halts or a node exceeds the
+// cycle limit. Nodes are stepped lowest-local-clock-first, which keeps the
+// bus arbitration causally consistent (a node never acquires the bus in
+// another node's past).
+func (c *Cluster) Run(maxCycles uint64) error {
+	for {
+		var next *core.Machine
+		for _, n := range c.Nodes {
+			if n.Console.Halted {
+				continue
+			}
+			if next == nil || n.CPU.Stats.Cycles < next.CPU.Stats.Cycles {
+				next = n
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		if next.CPU.Stats.Cycles >= maxCycles {
+			return fmt.Errorf("multi: node exceeded %d cycles (pc %#x)", maxCycles, next.CPU.PC())
+		}
+		next.CPU.IntLine = next.IntC.Pending()
+		next.CPU.Step()
+	}
+}
+
+// Stats summarizes a cluster run.
+type Stats struct {
+	Nodes          int
+	MakespanCycles uint64  // slowest node's cycle count
+	TotalInstr     uint64  // instructions completed across all nodes
+	AggregateMIPS  float64 // total work over the makespan at the design clock
+	SumNodeMIPS    float64 // sum of each node's own sustained rate
+	BusWaitCycles  uint64  // cycles nodes queued for the shared bus
+	BusTransfers   uint64
+}
+
+// Stats computes the cluster summary.
+func (c *Cluster) Stats() Stats {
+	var s Stats
+	s.Nodes = len(c.Nodes)
+	for _, n := range c.Nodes {
+		p := n.CPU.Stats
+		if p.Cycles > s.MakespanCycles {
+			s.MakespanCycles = p.Cycles
+		}
+		s.TotalInstr += p.Issued()
+		if p.Cycles > 0 {
+			s.SumNodeMIPS += core.ClockMHz * float64(p.Issued()) / float64(p.Cycles)
+		}
+	}
+	if s.MakespanCycles > 0 {
+		s.AggregateMIPS = core.ClockMHz * float64(s.TotalInstr) / float64(s.MakespanCycles)
+	}
+	s.BusWaitCycles = c.Arb.WaitCycles
+	s.BusTransfers = c.Arb.Transfers
+	return s
+}
+
+// Outputs returns each node's console output.
+func (c *Cluster) Outputs() []string {
+	out := make([]string, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.Output()
+	}
+	return out
+}
+
+// Images gives access to the per-node loaded images (for tests).
+func (c *Cluster) Images() []*asm.Image {
+	ims := make([]*asm.Image, len(c.Nodes))
+	for i, n := range c.Nodes {
+		ims[i] = n.Image
+	}
+	return ims
+}

@@ -1,0 +1,122 @@
+package tinyc
+
+// AST node definitions. Line numbers are carried for diagnostics.
+
+type program struct {
+	globals []globalDecl
+	funcs   []*funcDecl
+}
+
+type globalDecl struct {
+	name string
+	size int // words; 1 for scalars
+	line int
+}
+
+type funcDecl struct {
+	name   string
+	params []string
+	body   []stmt
+	line   int
+}
+
+type stmt interface{ stmtNode() }
+
+type varDecl struct {
+	name string
+	init expr // optional
+	line int
+}
+
+type assign struct {
+	target lvalue
+	value  expr
+	line   int
+}
+
+type ifStmt struct {
+	cond        expr
+	then, else_ []stmt
+	line        int
+}
+
+type whileStmt struct {
+	cond expr
+	body []stmt
+	line int
+}
+
+type returnStmt struct {
+	value expr // optional
+	line  int
+}
+
+type exprStmt struct {
+	e    expr
+	line int
+}
+
+type printStmt struct {
+	e    expr
+	char bool // putc vs print
+	line int
+}
+
+type expr interface{ exprNode() }
+
+type lvalue interface {
+	expr
+	lvalueNode()
+}
+
+type numLit struct {
+	v    int64
+	line int
+}
+
+type varRef struct {
+	name string
+	line int
+}
+
+type indexExpr struct {
+	base varRef
+	idx  expr
+	line int
+}
+
+type binExpr struct {
+	op   string
+	l, r expr
+	line int
+}
+
+type unExpr struct {
+	op   string
+	e    expr
+	line int
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+func (varDecl) stmtNode()    {}
+func (assign) stmtNode()     {}
+func (ifStmt) stmtNode()     {}
+func (whileStmt) stmtNode()  {}
+func (returnStmt) stmtNode() {}
+func (exprStmt) stmtNode()   {}
+func (printStmt) stmtNode()  {}
+
+func (numLit) exprNode()    {}
+func (varRef) exprNode()    {}
+func (indexExpr) exprNode() {}
+func (binExpr) exprNode()   {}
+func (unExpr) exprNode()    {}
+func (callExpr) exprNode()  {}
+
+func (varRef) lvalueNode()    {}
+func (indexExpr) lvalueNode() {}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecache"
+	"repro/internal/icache"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/reorg"
+	"repro/internal/tinyc"
+)
+
+func TestRecorderCapturesRun(t *testing.T) {
+	im, err := tinyc.Build(`
+func main() {
+	var i;
+	i = 0;
+	while (i < 20) { i = i + 1; }
+	print(i);
+}`, reorg.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.New(core.DefaultConfig(), nil)
+	m.Load(im)
+	var r Recorder
+	r.Attach(m.CPU)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Instrs) == 0 {
+		t.Fatal("no instruction trace captured")
+	}
+	if len(r.Branches) < 20 {
+		t.Fatalf("branch trace too short: %d", len(r.Branches))
+	}
+	taken := 0
+	for _, e := range r.Branches {
+		if e.Taken {
+			taken++
+		}
+	}
+	if taken == 0 || taken == len(r.Branches) {
+		t.Fatal("branch trace has no outcome variety")
+	}
+}
+
+func TestProfileMatchesReorganizerNumbering(t *testing.T) {
+	src := `
+func main() {
+	var i;
+	i = 0;
+	while (i < 50) { i = i + 1; }
+	if (i == 50) { print(0); }
+	print(i);
+}`
+	im, err := tinyc.Build(src, reorg.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.New(core.DefaultConfig(), nil)
+	m.Load(im)
+	var r Recorder
+	r.Attach(m.CPU)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	prof := Profile(im, r.Branches)
+	if len(prof) == 0 {
+		t.Fatal("empty profile")
+	}
+	// The profile must contain a strongly-taken branch (the loop) and a
+	// never-taken one (the dead if).
+	var hasHot, hasCold bool
+	for _, f := range prof {
+		if f > 0.9 {
+			hasHot = true
+		}
+		if f < 0.1 {
+			hasCold = true
+		}
+	}
+	if !hasHot || !hasCold {
+		t.Fatalf("profile lacks expected shape: %v", prof)
+	}
+	// Rebuilding with the profile must still produce a correct program.
+	im2, err := tinyc.Build(src, reorg.Default(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := core.New(core.DefaultConfig(), nil)
+	m2.Load(im2)
+	if _, err := m2.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Output() != "0\n50\n" {
+		t.Fatalf("profiled rebuild output %q", m2.Output())
+	}
+}
+
+// icacheMissRate runs an address trace against an Icache configuration.
+func icacheMissRate(cfg icache.Config, tr []isa.Word) float64 {
+	mm := mem.New()
+	e := ecache.New(ecache.DefaultConfig(), mm, mem.DefaultBus())
+	ic := icache.New(cfg, e)
+	for _, a := range tr {
+		ic.Fetch(a)
+	}
+	return ic.Stats.MissRatio()
+}
+
+func TestSyntheticTraceShapes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  SynthConfig
+	}{
+		{"pascal", PascalSynth(0)},
+		{"lisp", LispSynth(0)},
+		{"fp", FPSynth(0)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSynthesizer(tc.cfg)
+			tr := s.Generate(200_000)
+			if len(tr) != 200_000 {
+				t.Fatalf("short trace: %d", len(tr))
+			}
+			// Addresses stay within the configured footprint.
+			maxA := isa.Word(0)
+			for _, a := range tr {
+				if a > maxA {
+					maxA = a
+				}
+			}
+			if int(maxA) >= tc.cfg.CodeWords {
+				t.Fatalf("address %d beyond footprint %d", maxA, tc.cfg.CodeWords)
+			}
+			// Sequentiality: most references are pc+1 (straight-line code).
+			seq := 0
+			for i := 1; i < len(tr); i++ {
+				if tr[i] == tr[i-1]+1 {
+					seq++
+				}
+			}
+			frac := float64(seq) / float64(len(tr))
+			if frac < 0.5 || frac > 0.95 {
+				t.Fatalf("sequential fraction %.2f outside instruction-stream norms", frac)
+			}
+		})
+	}
+}
+
+func TestSyntheticTracesReproduceIcachePaperNumbers(t *testing.T) {
+	// The headline Icache calibration (experiment E2): on the large-program
+	// traces, the chosen organization (double fetch) lands near the paper's
+	// 12% miss ratio, and the single-fetch organization near the >20% that
+	// made the team go looking for a fix.
+	gen := func(cfg SynthConfig) []isa.Word {
+		return NewSynthesizer(cfg).Generate(300_000)
+	}
+	traces := [][]isa.Word{gen(PascalSynth(0)), gen(LispSynth(0))}
+
+	var single, double float64
+	for _, tr := range traces {
+		c1 := icache.DefaultConfig()
+		c1.FetchBack = 1
+		c2 := icache.DefaultConfig()
+		single += icacheMissRate(c1, tr)
+		double += icacheMissRate(c2, tr)
+	}
+	single /= float64(len(traces))
+	double /= float64(len(traces))
+
+	if single < 0.15 || single > 0.32 {
+		t.Errorf("single-fetch miss ratio %.3f outside the paper's >20%% regime", single)
+	}
+	if double < 0.08 || double > 0.17 {
+		t.Errorf("double-fetch miss ratio %.3f not near the paper's 12%%", double)
+	}
+	if double > single*0.70 {
+		t.Errorf("double fetch reduced misses only %.3f→%.3f; paper says it 'almost halves'", single, double)
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a := []isa.Word{1, 2, 3, 4, 5}
+	b := []isa.Word{10, 20}
+	out := Interleave([][]isa.Word{a, b}, 2)
+	if len(out) != len(a)+len(b) {
+		t.Fatalf("interleave lost references: %d", len(out))
+	}
+	// Address spaces must not collide.
+	if out[2] == 10 {
+		t.Fatal("second program not offset into its own space")
+	}
+}
