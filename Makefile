@@ -1,0 +1,29 @@
+# Verification entry points. `make check` is the full gate a change must
+# pass; CI and the tier-1 recipe in ROADMAP.md both run it.
+
+GO ?= go
+
+.PHONY: check build test vet race lint-suite fuzz
+
+check: vet build test race lint-suite
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Zero error-severity hazard findings across every benchmark × Table 1
+# scheme — the software-interlock invariant of the whole toolchain.
+lint-suite:
+	$(GO) run ./cmd/mipsx-lint -suite
+
+# Longer exploration of the compile → reorganize → lint invariant.
+fuzz:
+	$(GO) test ./internal/lint -fuzz=FuzzCompileReorgLint -fuzztime=60s

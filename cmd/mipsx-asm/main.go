@@ -6,6 +6,7 @@
 //
 //	mipsx-asm prog.s
 //	mipsx-asm -reorg -slots 2 -squash optional prog.s
+//	mipsx-asm -lint prog.s      # refuse output with interlock hazards
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/asm"
+	"repro/internal/lint"
 	"repro/internal/reorg"
 )
 
@@ -22,6 +24,7 @@ func main() {
 	slots := flag.Int("slots", 2, "branch delay slots (1 or 2)")
 	squash := flag.String("squash", "optional", "squash mode: none, always, optional")
 	base := flag.Uint("base", 0, "load address (words)")
+	doLint := flag.Bool("lint", false, "run the static hazard verifier; fail on errors")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mipsx-asm [flags] prog.s")
@@ -52,6 +55,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mipsx-asm:", err)
 		os.Exit(1)
+	}
+	if *doLint {
+		rep := lint.CheckImage(im, lint.Config{Slots: *slots})
+		fmt.Fprint(os.Stderr, rep.String())
+		if rep.HasErrors() {
+			fmt.Fprintln(os.Stderr, "mipsx-asm: program has interlock hazards (see above)")
+			os.Exit(1)
+		}
 	}
 	fmt.Print(asm.Listing(im))
 }

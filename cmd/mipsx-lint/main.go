@@ -1,0 +1,163 @@
+// Command mipsx-lint statically verifies that MIPS-X code is safe to run on
+// a machine with no hardware interlocks: it builds a delay-slot-aware CFG
+// over the assembled program and reports every load-use, delay-slot,
+// special-register and coprocessor timing violation (see internal/lint and
+// DESIGN.md §8 for the rules).
+//
+// Usage:
+//
+//	mipsx-lint prog.s                      # lint hand-written assembly
+//	mipsx-lint -reorg prog.s               # reorganize first, then lint
+//	mipsx-lint -tiny prog.t                # compile tinyc, reorganize, lint
+//	mipsx-lint -json prog.s                # machine-readable findings
+//	mipsx-lint -suite                      # lint every benchmark × scheme
+//
+// Exit status is 1 when any error-severity finding exists, 2 on usage or
+// input errors, 0 otherwise. Warnings and infos never fail the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/lint"
+	"repro/internal/reorg"
+	"repro/internal/tinyc"
+)
+
+func main() {
+	tiny := flag.Bool("tiny", false, "input is tinyc source (compile + reorganize first)")
+	doReorg := flag.Bool("reorg", false, "run the code reorganizer before linting")
+	slots := flag.Int("slots", 2, "branch delay slots to verify for (1 or 2)")
+	squash := flag.String("squash", "optional", "squash mode for -reorg/-tiny: none, always, optional")
+	base := flag.Uint("base", 0, "load address (words)")
+	jsonOut := flag.Bool("json", false, "print findings as JSON")
+	quiet := flag.Bool("quiet", false, "suppress findings, report only the summary line")
+	suite := flag.Bool("suite", false, "lint every tinyc benchmark under every Table 1 scheme")
+	flag.Parse()
+
+	if *suite {
+		os.Exit(runSuite(*jsonOut))
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mipsx-lint [flags] prog.{s,t}  |  mipsx-lint -suite")
+		os.Exit(2)
+	}
+	mode, ok := map[string]reorg.SquashMode{
+		"none": reorg.NoSquash, "always": reorg.AlwaysSquash, "optional": reorg.SquashOptional,
+	}[*squash]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mipsx-lint: bad squash mode %q\n", *squash)
+		os.Exit(2)
+	}
+	if *slots != 1 && *slots != 2 {
+		fmt.Fprintf(os.Stderr, "mipsx-lint: bad slot count %d\n", *slots)
+		os.Exit(2)
+	}
+	scheme := reorg.Scheme{Slots: *slots, Squash: mode}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+
+	var im *asm.Image
+	if *tiny {
+		// Note Build already lints internally and refuses bad output; going
+		// through the pieces here lets mipsx-lint show the findings instead.
+		c, err := tinyc.Compile(string(src))
+		if err != nil {
+			fail(err)
+		}
+		im, err = asm.Assemble(reorg.Reorganize(c.Stmts, scheme, nil), uint32(*base))
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		stmts, err := asm.Parse(string(src))
+		if err != nil {
+			fail(err)
+		}
+		if *doReorg {
+			stmts = reorg.Reorganize(stmts, scheme, nil)
+		}
+		im, err = asm.Assemble(stmts, uint32(*base))
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	rep := lint.CheckImage(im, lint.Config{Slots: *slots})
+	if *jsonOut {
+		b, err := rep.JSON()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(b))
+	} else {
+		if !*quiet {
+			fmt.Print(rep.String())
+		}
+		errs, warns, infos := rep.Counts()
+		fmt.Printf("%s: %d error(s), %d warning(s), %d info(s)\n", flag.Arg(0), errs, warns, infos)
+	}
+	if rep.HasErrors() {
+		os.Exit(1)
+	}
+}
+
+// runSuite verifies every tinyc benchmark under every Table 1 scheme — the
+// "does the reorganizer keep its promise" regression sweep.
+func runSuite(jsonOut bool) int {
+	status := 0
+	type result struct {
+		Bench  string `json:"bench"`
+		Scheme string `json:"scheme"`
+		Errors int    `json:"errors"`
+		Warns  int    `json:"warnings"`
+		Infos  int    `json:"infos"`
+	}
+	var rows []result
+	for _, b := range tinyc.Benchmarks() {
+		for _, s := range reorg.Table1Schemes() {
+			im, err := tinyc.Build(b.Source, s, nil)
+			if err != nil {
+				// Build itself lints; a failure here IS an error finding.
+				fmt.Fprintf(os.Stderr, "mipsx-lint: %s under %s: %v\n", b.Name, s, err)
+				status = 1
+				continue
+			}
+			rep := lint.CheckImage(im, lint.Config{Slots: s.Slots})
+			errs, warns, infos := rep.Counts()
+			rows = append(rows, result{b.Name, s.String(), errs, warns, infos})
+			if errs > 0 {
+				status = 1
+				fmt.Print(rep.String())
+			}
+			if !jsonOut {
+				fmt.Printf("%-14s %-24s %d error(s), %d warning(s), %d info(s)\n",
+					b.Name, s, errs, warns, infos)
+			}
+		}
+	}
+	if jsonOut {
+		fmt.Println("[")
+		for i, r := range rows {
+			comma := ","
+			if i == len(rows)-1 {
+				comma = ""
+			}
+			fmt.Printf("  {\"bench\":%q,\"scheme\":%q,\"errors\":%d,\"warnings\":%d,\"infos\":%d}%s\n",
+				r.Bench, r.Scheme, r.Errors, r.Warns, r.Infos, comma)
+		}
+		fmt.Println("]")
+	}
+	return status
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mipsx-lint:", err)
+	os.Exit(2)
+}

@@ -10,6 +10,7 @@
 //	mipsx-run -tiny prog.t
 //	mipsx-run -tiny -profile prog.t       # two-pass profile feedback
 //	mipsx-run -stats -check prog.s
+//	mipsx-run -lint prog.s                # refuse to run hazardous code
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/core"
+	"repro/internal/lint"
 	"repro/internal/reorg"
 	"repro/internal/tinyc"
 	"repro/internal/trace"
@@ -29,6 +31,7 @@ func main() {
 	profile := flag.Bool("profile", false, "with -tiny: rebuild with branch profile feedback")
 	stats := flag.Bool("stats", false, "print run statistics")
 	check := flag.Bool("check", false, "enable the software-interlock hazard checker")
+	doLint := flag.Bool("lint", false, "statically verify the program before running; refuse on errors")
 	maxCycles := flag.Uint64("max-cycles", 100_000_000, "cycle limit")
 	pipe := flag.Int("pipe", 0, "print the first N cycles of pipeline occupancy")
 	flag.Parse()
@@ -51,6 +54,17 @@ func main() {
 		im, err = asm.AssembleSource(string(src), 0)
 		if err != nil {
 			fail(err)
+		}
+	}
+
+	if *doLint {
+		// The dynamic checker (-check) catches hazards the program happens to
+		// execute; the static verifier proves their absence up front.
+		rep := lint.CheckImage(im, lint.DefaultConfig())
+		fmt.Fprint(os.Stderr, rep.String())
+		if rep.HasErrors() {
+			fmt.Fprintln(os.Stderr, "mipsx-run: refusing to run: program has interlock hazards (see above)")
+			os.Exit(1)
 		}
 	}
 

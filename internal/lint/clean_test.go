@@ -1,0 +1,39 @@
+package lint_test
+
+// Acceptance sweep: every benchmark of the suite, reorganized for every
+// Table 1 scheme, must produce zero error-severity findings — both through
+// the checked reorganizer entry point and when assembled at a nonzero base
+// (which exercises base-relative jspci target resolution in the CFG).
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/lint"
+	"repro/internal/reorg"
+	"repro/internal/tinyc"
+)
+
+func TestBenchmarkSuiteLintsClean(t *testing.T) {
+	for _, b := range tinyc.Benchmarks() {
+		c, err := tinyc.Compile(b.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		for _, scheme := range reorg.Table1Schemes() {
+			t.Run(b.Name+"/"+scheme.String(), func(t *testing.T) {
+				out, err := reorg.ReorganizeChecked(c.Stmts, scheme, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				im, err := asm.Assemble(out, 0x1000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep := lint.CheckImage(im, lint.Config{Slots: scheme.Slots}); rep.HasErrors() {
+					t.Fatalf("errors at base 0x1000:\n%s", rep)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package reorg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/lint"
+)
+
+// ReorganizeChecked runs Reorganize and then verifies its own output with
+// the independent static hazard linter (internal/lint) — the linter's timing
+// model is a separate implementation of the paper's interlock rules, so the
+// two cross-check each other. It also enforces a structural invariant the
+// linter does not care about: every control transfer must be followed by
+// exactly scheme.Slots instruction statements (no slot may be left unfilled
+// when candidate stealing fails — the no-op padding paths must have run).
+//
+// The error carries every error-severity diagnostic; the (illegal) output is
+// returned alongside it for debugging.
+func ReorganizeChecked(stmts []asm.Stmt, scheme Scheme, prof Profile) ([]asm.Stmt, error) {
+	out := Reorganize(stmts, scheme, prof)
+	if err := checkSlotCounts(out, scheme); err != nil {
+		return out, err
+	}
+	rep, err := lint.CheckStmts(out, lint.Config{Slots: scheme.Slots})
+	if err != nil {
+		return out, fmt.Errorf("reorg: output does not assemble: %w", err)
+	}
+	if rep.HasErrors() {
+		var b strings.Builder
+		for _, d := range rep.Errors() {
+			b.WriteString("\n\t")
+			b.WriteString(d.String())
+		}
+		return out, fmt.Errorf("reorg: %s output failed hazard lint:%s", scheme, b.String())
+	}
+	return out, nil
+}
+
+// checkSlotCounts verifies that each control transfer in the flattened
+// output is followed by scheme.Slots instruction statements.
+func checkSlotCounts(stmts []asm.Stmt, scheme Scheme) error {
+	for i, s := range stmts {
+		if !isCtrl(s) {
+			continue
+		}
+		for k := 1; k <= scheme.Slots; k++ {
+			if i+k >= len(stmts) || !stmts[i+k].IsInstr {
+				return fmt.Errorf("reorg: transfer at stmt %d (line %d) has %d of %d delay slots",
+					i, s.Line, k-1, scheme.Slots)
+			}
+		}
+		// The filler never parks a transfer inside a delay slot; the linter
+		// reports that separately (ctrl-in-slot) with more context.
+	}
+	return nil
+}

@@ -462,7 +462,7 @@ func (r *reorganizer) fillNoSquash() {
 			branchIdx++
 		}
 		for len(c.slots) < r.scheme.Slots {
-			if s, ok := r.stealFromAbove(c); ok {
+			if s, ok := r.stealFromAbove(ci, c); ok {
 				c.slots = append([]asm.Stmt{s}, c.slots...)
 				continue
 			}
@@ -489,7 +489,7 @@ func (r *reorganizer) fillNoSquash() {
 // hold after the move. The search walks upward from the bottom of the
 // block, as the paper's strategy describes ("first try to move an
 // instruction from before the branch into the slot").
-func (r *reorganizer) stealFromAbove(c *chunk) (asm.Stmt, bool) {
+func (r *reorganizer) stealFromAbove(ci int, c *chunk) (asm.Stmt, bool) {
 	if c.ctrl.In.Squash {
 		// Mixed fill is not expressible: the single squash bit covers both
 		// slots, and from-above instructions must never be squashed.
@@ -537,18 +537,89 @@ func (r *reorganizer) stealFromAbove(c *chunk) (asm.Stmt, bool) {
 		if conflict {
 			continue
 		}
-		// Check distances in the rearranged window.
+		// Check distances in the rearranged window, and across both seams the
+		// moved instruction now borders: it lands in an always-executed slot,
+		// one issue position before the taken-target head on one path and
+		// before the fall-through head on the other. (On the 1-slot machine a
+		// quick-compare branch at either head needs its operands two slots
+		// back — a windowOK over this block alone cannot see that.)
 		body := append(append([]asm.Stmt{}, c.body[:i]...), c.body[i+1:]...)
 		window := append(append([]asm.Stmt{}, body...), *c.ctrl)
 		window = append(window, cand)
 		window = append(window, c.slots...)
-		if !windowOK(window, r.scheme) {
+		if !windowOK(window, r.scheme) || !r.seamsOK(ci, c, window) {
 			continue
 		}
 		c.body = body
 		return cand, true
 	}
 	return asm.Stmt{}, false
+}
+
+// seamsOK verifies the window against the issue streams that follow it: the
+// taken-target head (when the transfer's target is a resolvable label) and,
+// for conditional branches, the fall-through head. Indirect transfers (jpc,
+// register jspci) have no static target; their continuation is unknowable
+// here and to the linter alike, a shared, documented limitation.
+func (r *reorganizer) seamsOK(ci int, c *chunk, window []asm.Stmt) bool {
+	need := r.scheme.Slots + 2
+	if c.ctrl.Target != "" {
+		if head, ok := r.targetHeadWindow(c.ctrl.Target, need); ok {
+			if !windowOK(append(append([]asm.Stmt{}, window...), head...), r.scheme) {
+				return false
+			}
+		}
+	}
+	if c.ctrl.In.IsBranch() && !isUnconditional(c.ctrl.In) && ci+1 < len(r.chunks) {
+		next := r.chunks[ci+1]
+		if next.kind == codeChunk {
+			if !windowOK(append(append([]asm.Stmt{}, window...), headWindow(next, need)...), r.scheme) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// targetHeadWindow returns the first n executed statements from a label,
+// which — after a squash fill retargeted a branch — may sit mid-chunk.
+func (r *reorganizer) targetHeadWindow(target string, n int) ([]asm.Stmt, bool) {
+	ti, ok := r.labelChunk[target]
+	if !ok {
+		return nil, false
+	}
+	t := r.chunks[ti]
+	if t.kind != codeChunk {
+		return nil, false
+	}
+	for _, l := range t.labels {
+		if l == target {
+			return headWindow(t, n), true
+		}
+	}
+	start := len(t.body) // label on the ctrl itself, unless found in the body
+	for i, s := range t.body {
+		for _, l := range s.Labels {
+			if l == target {
+				start = i
+			}
+		}
+	}
+	var out []asm.Stmt
+	for _, s := range t.body[start:] {
+		if len(out) >= n {
+			return out, true
+		}
+		out = append(out, s)
+	}
+	if t.ctrl != nil && len(out) < n {
+		out = append(out, *t.ctrl)
+		out = append(out, t.slots...)
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, true
 }
 
 // movable reports whether an instruction may be moved from above a branch

@@ -1,7 +1,10 @@
 package tinyc
 
 import (
+	"fmt"
+
 	"repro/internal/asm"
+	"repro/internal/lint"
 	"repro/internal/reorg"
 )
 
@@ -50,7 +53,28 @@ func BuildLayout(src string, scheme reorg.Scheme, prof reorg.Profile, layout Lay
 		return nil, err
 	}
 	out := reorg.Reorganize(c.Stmts, scheme, prof)
-	return asm.Assemble(out, base)
+	im, err := asm.Assemble(out, base)
+	if err != nil {
+		return nil, err
+	}
+	// Post-pass verification: on a machine with no hardware interlocks a
+	// scheduling bug is silent data corruption, so every generated image is
+	// run through the static hazard linter before anyone executes it.
+	if rep := lint.CheckImage(im, lint.Config{Slots: scheme.Slots}); rep.HasErrors() {
+		return nil, fmt.Errorf("tinyc: generated code failed hazard lint (compiler bug):\n%s",
+			reportErrors(rep))
+	}
+	return im, nil
+}
+
+func reportErrors(rep *lint.Report) string {
+	var b []byte
+	for _, d := range rep.Errors() {
+		b = append(b, '\t')
+		b = append(b, d.String()...)
+		b = append(b, '\n')
+	}
+	return string(b)
 }
 
 // StaticInstructions counts the instruction words in an image — the static
