@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race lint-suite fuzz
+.PHONY: check build test vet race lint-suite fuzz bench
 
 check: vet build test race lint-suite
 
@@ -27,3 +27,10 @@ lint-suite:
 # Longer exploration of the compile → reorganize → lint invariant.
 fuzz:
 	$(GO) test ./internal/lint -fuzz=FuzzCompileReorgLint -fuzztime=60s
+
+# Bench-regression tracking: regenerate the machine-readable report, verify
+# every experiment table against the recorded golden baseline (exit 1 on
+# drift), and run the Go benchmarks once. CI uploads BENCH_pr.json.
+bench:
+	$(GO) run ./cmd/mipsx-bench -check BENCH_baseline.json -json > BENCH_pr.json
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .

@@ -89,6 +89,31 @@ func BenchmarkMultiprocessorScaling(b *testing.B) {
 	runExperiment(b, experiments.MultiprocessorScaling)
 }
 
+// BenchmarkESuiteSerial regenerates the entire evaluation with the
+// experiment engine pinned to one worker — the reference configuration
+// BENCH_baseline.json is recorded at (together with -predecode=false).
+func BenchmarkESuiteSerial(b *testing.B) {
+	benchAll(b, 1)
+}
+
+// BenchmarkESuiteParallel regenerates the entire evaluation at full
+// parallelism; the ratio to BenchmarkESuiteSerial is the engine's speedup
+// on this machine (≈1 on a single-core runner, ≥2 on multi-core CI).
+func BenchmarkESuiteParallel(b *testing.B) {
+	benchAll(b, 0)
+}
+
+func benchAll(b *testing.B, workers int) {
+	b.Helper()
+	experiments.Configure(workers, 0, false)
+	defer experiments.Configure(0, 0, false)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.All(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Substrate micro-benchmarks.
 
@@ -139,6 +164,18 @@ func BenchmarkIcacheFetch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ic.Fetch(isa.Word(i & 255))
+	}
+}
+
+// BenchmarkIcacheFetchDecoded measures the predecoded fetch fast path the
+// pipeline's IF stage uses (compare with BenchmarkIcacheFetch + a Decode).
+func BenchmarkIcacheFetchDecoded(b *testing.B) {
+	mm := mem.New()
+	e := ecache.New(ecache.DefaultConfig(), mm, mem.DefaultBus())
+	ic := icache.New(icache.DefaultConfig(), e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ic.FetchDecoded(isa.Word(i & 255))
 	}
 }
 

@@ -4,54 +4,156 @@
 //
 // Usage:
 //
-//	mipsx-bench            # run every experiment
-//	mipsx-bench -only E1   # run a single experiment by id
+//	mipsx-bench                          # every experiment, parallel
+//	mipsx-bench -only E1                 # a single experiment by id
+//	mipsx-bench -parallel 1              # serial (reference) execution
+//	mipsx-bench -json > BENCH.json       # machine-readable results+timings
+//	mipsx-bench -check BENCH_baseline.json
+//	                                     # fail (exit 1) if any table drifts
+//	                                     # from the recorded baseline
+//
+// Tables are byte-identical at every -parallel level and with -predecode on
+// or off; only the timing fields of the JSON report vary. CI records the
+// report as BENCH_pr.json and gates merges on -check against the checked-in
+// baseline.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/experiments"
 )
 
+type exp struct {
+	id string
+	fn func() (*experiments.Table, error)
+}
+
+var exps = []exp{
+	{"E1", experiments.Table1BranchSchemes},
+	{"E2", experiments.IcacheDesign},
+	{"E3", experiments.BranchConditionStats},
+	{"E4", experiments.BranchCacheVsStatic},
+	{"E5", experiments.CoprocessorSchemes},
+	{"E6", experiments.SustainedThroughput},
+	{"E7", experiments.VAXComparison},
+	{"E8", experiments.ExceptionHandling},
+	{"E9", experiments.MemoryBandwidth},
+	{"E10", experiments.EcacheAblations},
+	{"E11", experiments.MultiprocessorScaling},
+}
+
 func main() {
-	only := flag.String("only", "", "run only the experiment with this id (E1..E10)")
+	only := flag.String("only", "", "run only the experiment with this id (E1..E11)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines for experiment cells (1 = serial)")
+	timeout := flag.Duration("timeout", 0, "per-cell wall-clock budget (0 = none)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable report on stdout instead of tables")
+	check := flag.String("check", "", "baseline JSON report; exit 1 if any table differs")
+	predecode := flag.Bool("predecode", true, "use the predecoded instruction-fetch fast path")
 	flag.Parse()
 
-	type exp struct {
-		id string
-		fn func() (*experiments.Table, error)
-	}
-	exps := []exp{
-		{"E1", experiments.Table1BranchSchemes},
-		{"E2", experiments.IcacheDesign},
-		{"E3", experiments.BranchConditionStats},
-		{"E4", experiments.BranchCacheVsStatic},
-		{"E5", experiments.CoprocessorSchemes},
-		{"E6", experiments.SustainedThroughput},
-		{"E7", experiments.VAXComparison},
-		{"E8", experiments.ExceptionHandling},
-		{"E9", experiments.MemoryBandwidth},
-		{"E10", experiments.EcacheAblations},
-		{"E11", experiments.MultiprocessorScaling},
-	}
-	ran := 0
-	for _, e := range exps {
-		if *only != "" && e.id != *only {
-			continue
+	experiments.SetPredecode(*predecode)
+	eng := experiments.Configure(*parallel, *timeout, *jsonOut || *check != "")
+
+	selected := exps
+	if *only != "" {
+		selected = nil
+		for _, e := range exps {
+			if e.id == *only {
+				selected = []exp{e}
+			}
 		}
+		if selected == nil {
+			fmt.Fprintf(os.Stderr, "mipsx-bench: unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+	}
+
+	tables := make([]*experiments.Table, len(selected))
+	perExp := make([]time.Duration, len(selected))
+	start := time.Now()
+	for i, e := range selected {
+		t0 := time.Now()
 		tb, err := e.fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mipsx-bench: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
-		fmt.Println(tb)
-		ran++
+		tables[i] = tb
+		perExp[i] = time.Since(t0)
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "mipsx-bench: unknown experiment %q\n", *only)
-		os.Exit(2)
+	wall := time.Since(start)
+
+	doc := experiments.NewBenchDoc(tables, perExp, wall, *parallel, *predecode, eng)
+
+	if *check != "" {
+		if code := compare(*check, doc); code != 0 {
+			os.Exit(code)
+		}
 	}
+
+	if *jsonOut {
+		b, err := doc.Marshal()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mipsx-bench: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(b)
+		return
+	}
+	if *check == "" {
+		for _, tb := range tables {
+			fmt.Println(tb)
+		}
+	}
+}
+
+// compare diffs this run's tables against a recorded baseline report:
+// experiments present in both must render identically (the simulated
+// results are deterministic; only timings may differ). It also reports the
+// wall-clock ratio, the bench-regression signal CI tracks.
+func compare(path string, doc *experiments.BenchDoc) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mipsx-bench: -check: %v\n", err)
+		return 1
+	}
+	base, err := experiments.ParseBenchDoc(b)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mipsx-bench: -check %s: %v\n", path, err)
+		return 1
+	}
+	baseByID := make(map[string]experiments.ExpResult, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseByID[e.ID] = e
+	}
+	drift := 0
+	for _, e := range doc.Experiments {
+		want, ok := baseByID[e.ID]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mipsx-bench: %s: not in baseline %s (new experiment? reseed the baseline)\n", e.ID, path)
+			continue
+		}
+		if e.Text != want.Text {
+			drift++
+			fmt.Fprintf(os.Stderr, "mipsx-bench: %s drifted from %s\n--- baseline ---\n%s--- current ---\n%s",
+				e.ID, path, want.Text, e.Text)
+		}
+	}
+	if drift > 0 {
+		fmt.Fprintf(os.Stderr, "mipsx-bench: %d experiment(s) drifted from the recorded golden tables\n", drift)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "mipsx-bench: all %d experiment tables match %s\n", len(doc.Experiments), path)
+	if base.TotalWallMS > 0 && doc.TotalWallMS > 0 {
+		fmt.Fprintf(os.Stderr, "mipsx-bench: wall %.0f ms vs baseline %.0f ms (%.2fx; baseline parallel=%d predecode=%v, now parallel=%d predecode=%v, GOMAXPROCS=%d)\n",
+			doc.TotalWallMS, base.TotalWallMS, base.TotalWallMS/doc.TotalWallMS,
+			base.Parallel, base.Predecode, doc.Parallel, doc.Predecode, doc.GOMAXPROCS)
+	}
+	return 0
 }

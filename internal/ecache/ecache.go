@@ -174,8 +174,12 @@ func New(cfg Config, m *mem.Memory, bus *mem.Bus) *Cache {
 		Mem:      m,
 		Bus:      bus,
 	}
+	// One flat backing array for every line: the default Ecache has 16K
+	// sets, and a per-set allocation loop dominated machine construction —
+	// which sits on the experiment engine's hot path (one machine per cell).
+	lines := make([]line, numSets*cfg.Ways)
 	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+		c.sets[i] = lines[i*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	return c
 }

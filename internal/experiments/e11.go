@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -8,6 +9,40 @@ import (
 	"repro/internal/reorg"
 	"repro/internal/tinyc"
 )
+
+// e11ClusterLimit bounds each cluster run.
+const e11ClusterLimit = 1_000_000_000
+
+// runCluster advances a cluster to completion in runChunk slices so
+// cancellation is observed (Cluster.Run checks nodes against an absolute
+// per-node cycle limit, so it is resumable with a growing limit).
+func runCluster(ctx context.Context, c *multi.Cluster, maxCycles uint64) error {
+	account := func() {
+		var sum uint64
+		for _, n := range c.Nodes {
+			sum += n.CPU.Stats.Cycles
+		}
+		DefaultEngine().AddCycles(sum)
+	}
+	for limit := uint64(runChunk); ; limit += runChunk {
+		if err := ctx.Err(); err != nil {
+			account()
+			return err
+		}
+		if limit > maxCycles {
+			limit = maxCycles
+		}
+		err := c.Run(limit)
+		if err == nil {
+			account()
+			return nil
+		}
+		if limit >= maxCycles {
+			account()
+			return err
+		}
+	}
+}
 
 // MultiprocessorScaling is E11, an extension beyond the paper's own
 // evaluation: the shared-memory multiprocessor the processor was designed
@@ -25,30 +60,48 @@ func MultiprocessorScaling() (*Table, error) {
 		Header: []string{"nodes", "aggregate MIPS", "bus wait/node (cycles)", "vs VAX 11/780"},
 	}
 	bench := tinyc.Benchmarks()[3] // sieve: branchy, array-heavy, fits the window 10×
+	sizes := []int{1, 2, 4, 6, 8, 10}
 
-	// The VAX reference rate on the same program.
-	vm, err := tinyc.BuildVAX(bench.Source)
-	if err != nil {
+	// Each cluster size is a cell (a whole cluster shares state internally
+	// but nothing across cells), plus a cell for the VAX reference rate on
+	// the same program.
+	var vaxSeconds float64
+	stats := make([]multi.Stats, len(sizes))
+	cells := make([]Cell, 0, len(sizes)+1)
+	cells = append(cells, Cell{ID: "E11/vax", Fn: func(ctx context.Context) error {
+		vm, err := tinyc.BuildVAX(bench.Source)
+		if err != nil {
+			return err
+		}
+		if err := runVAX(ctx, vm, 200_000_000); err != nil {
+			return err
+		}
+		vaxSeconds = float64(vm.Stats.Cycles) / (5.0 * 1e6) // 5 MHz clock
+		return nil
+	}})
+	for i, n := range sizes {
+		i, n := i, n
+		cells = append(cells, Cell{ID: fmt.Sprintf("E11/nodes=%d", n), Fn: func(ctx context.Context) error {
+			srcs := make([]string, n)
+			for j := range srcs {
+				srcs[j] = bench.Source
+			}
+			c := multi.New(n, defaultConfig())
+			if err := c.LoadPrograms(srcs, reorg.Default()); err != nil {
+				return err
+			}
+			if err := runCluster(ctx, c, e11ClusterLimit); err != nil {
+				return err
+			}
+			stats[i] = c.Stats()
+			return nil
+		}})
+	}
+	if err := DefaultEngine().Run(context.Background(), cells); err != nil {
 		return nil, err
 	}
-	if err := vm.Run(200_000_000); err != nil {
-		return nil, err
-	}
-	vaxSeconds := float64(vm.Stats.Cycles) / (5.0 * 1e6) // 5 MHz clock
-
-	for _, n := range []int{1, 2, 4, 6, 8, 10} {
-		srcs := make([]string, n)
-		for i := range srcs {
-			srcs[i] = bench.Source
-		}
-		c := multi.New(n, core.DefaultConfig())
-		if err := c.LoadPrograms(srcs, reorg.Default()); err != nil {
-			return nil, err
-		}
-		if err := c.Run(1_000_000_000); err != nil {
-			return nil, err
-		}
-		s := c.Stats()
+	for i, n := range sizes {
+		s := stats[i]
 		// n programs finished in makespan cycles; the VAX does them one
 		// after another.
 		mxSeconds := float64(s.MakespanCycles) / (core.ClockMHz * 1e6)

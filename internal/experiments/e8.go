@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -58,12 +59,55 @@ func ExceptionHandling() (*Table, error) {
 		Header: []string{"measure", "value"},
 	}
 	const iters = 200
-	base, err := runAsm(trapLoop(iters, false), core.DefaultConfig())
-	if err != nil {
-		return nil, err
+	// Five independent machine runs, one cell each.
+	sticky := defaultConfig()
+	sticky.Pipeline.StickyOverflow = true
+	const brSrc = `
+main:	addi r1, r0, 50
+loop:	addi r1, r1, -1
+	bne.sq r1, r0, loop
+	nop
+	nop
+	halt
+`
+	const ovf = `
+main:	li r9, 0x7FFFFFFF
+	li r10, 517
+	mots psw, r10
+	nop
+	nop
+	add r11, r9, r9
+	halt
+`
+	var base, trap, br, trapM, stickyM *core.Machine
+	cells := []Cell{
+		{ID: "E8/base-loop", Fn: func(ctx context.Context) error {
+			var err error
+			base, err = runAsm(ctx, trapLoop(iters, false), defaultConfig())
+			return err
+		}},
+		{ID: "E8/trap-loop", Fn: func(ctx context.Context) error {
+			var err error
+			trap, err = runAsm(ctx, trapLoop(iters, true), defaultConfig())
+			return err
+		}},
+		{ID: "E8/branch-squash", Fn: func(ctx context.Context) error {
+			var err error
+			br, err = runAsm(ctx, handlerAsm+brSrc, defaultConfig())
+			return err
+		}},
+		{ID: "E8/overflow-trap", Fn: func(ctx context.Context) error {
+			var err error
+			trapM, err = runAsm(ctx, handlerAsm+ovf, defaultConfig())
+			return err
+		}},
+		{ID: "E8/overflow-sticky", Fn: func(ctx context.Context) error {
+			var err error
+			stickyM, err = runAsm(ctx, handlerAsm+ovf, sticky)
+			return err
+		}},
 	}
-	trap, err := runAsm(trapLoop(iters, true), core.DefaultConfig())
-	if err != nil {
+	if err := DefaultEngine().Run(context.Background(), cells); err != nil {
 		return nil, err
 	}
 	if trap.CPU.Reg(23) != iters {
@@ -76,17 +120,6 @@ func ExceptionHandling() (*Table, error) {
 	t.AddRow("squash FSM events from exceptions", trap.CPU.Squash.Events[pipeline.CauseException])
 
 	// The same FSM driven by branch squashing (the single extra input).
-	br, err := runAsm(handlerAsm+`
-main:	addi r1, r0, 50
-loop:	addi r1, r1, -1
-	bne.sq r1, r0, loop
-	nop
-	nop
-	halt
-`, core.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
 	t.AddRow("squash FSM events from branches (same machine)", br.CPU.Squash.Events[pipeline.CauseBranch])
 
 	// Figure 4: the cache-miss FSM walk for the chosen 2-cycle service.
@@ -100,25 +133,6 @@ loop:	addi r1, r1, -1
 	// Overflow mechanism ablation: trap on overflow suppresses the result
 	// and vectors; the sticky bit completes the instruction and only
 	// records the fact.
-	ovf := handlerAsm + `
-main:	li r9, 0x7FFFFFFF
-	li r10, 517
-	mots psw, r10
-	nop
-	nop
-	add r11, r9, r9
-	halt
-`
-	trapM, err := runAsm(ovf, core.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
-	sticky := core.DefaultConfig()
-	sticky.Pipeline.StickyOverflow = true
-	stickyM, err := runAsm(ovf, sticky)
-	if err != nil {
-		return nil, err
-	}
 	t.AddRow("trap-on-overflow: exceptions / result written", fmt.Sprintf("%d / %v",
 		trapM.CPU.Stats.Exceptions, trapM.CPU.Reg(11) != 0))
 	t.AddRow("sticky-overflow:  exceptions / result written / PSW bit", fmt.Sprintf("%d / %v / %v",

@@ -1,0 +1,223 @@
+package experiments
+
+// The experiment engine: every experiment's independent (benchmark × scheme)
+// work is expressed as a Cell and fanned out across a worker pool, with
+// deterministic result assembly. Cells write their results into
+// caller-owned, index-distinct slots; all aggregation (sums, geometric
+// means, table rows) happens after the fan-in, in submission order — so the
+// rendered tables are byte-identical at any parallelism, which the
+// determinism test and `mipsx-bench -check` both enforce.
+//
+// Each Run call drives its own bounded set of worker goroutines rather than
+// sharing one global pool, so cells may themselves fan out sub-cells (E1's
+// per-scheme suites each fan out per-benchmark runs) without pool-starvation
+// deadlock; total concurrency is still governed by GOMAXPROCS.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cell is one independent unit of experiment work. Fn must confine its
+// mutable state to the cell (its own machines, memories, caches, trace
+// sinks) and may share only read-only inputs with other cells.
+type Cell struct {
+	ID string
+	Fn func(ctx context.Context) error
+}
+
+// CellTiming records one executed cell for the bench report.
+type CellTiming struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+	Err    string  `json:"err,omitempty"`
+}
+
+// Engine schedules cells across a worker pool.
+type Engine struct {
+	// Workers bounds concurrently running cells per Run call; ≤0 means
+	// GOMAXPROCS.
+	Workers int
+	// Timeout is the per-cell wall-clock budget (0 = none). Cell bodies
+	// built from the runners in this package observe it between simulation
+	// chunks.
+	Timeout time.Duration
+	// Record keeps per-cell timings for the bench report. Off by default so
+	// long-lived default engines (tests, benchmarks) don't grow without
+	// bound.
+	Record bool
+
+	cells  atomic.Uint64 // cells executed
+	cycles atomic.Uint64 // simulated machine cycles, reported by cell bodies
+
+	mu      sync.Mutex
+	timings []CellTiming
+}
+
+// Run executes the cells and returns the first error in cell order (cells
+// after a failure may be skipped). Results must be communicated through the
+// cells' own slots; Run itself only schedules.
+func (e *Engine) Run(ctx context.Context, cells []Cell) error {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if len(cells) == 0 {
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, len(cells))
+	timings := make([]CellTiming, len(cells))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				cctx := ctx
+				ccancel := func() {}
+				if e.Timeout > 0 {
+					cctx, ccancel = context.WithTimeout(ctx, e.Timeout)
+				}
+				start := time.Now()
+				err := runCell(cctx, cells[i])
+				ccancel()
+				e.cells.Add(1)
+				timings[i] = CellTiming{ID: cells[i].ID, WallMS: float64(time.Since(start)) / 1e6}
+				if err != nil {
+					timings[i].Err = err.Error()
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if e.Record {
+		e.mu.Lock()
+		e.timings = append(e.timings, timings...)
+		e.mu.Unlock()
+	}
+	// First real (non-cancellation) error in submission order, so failures
+	// report deterministically at a given parallelism.
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if err != context.Canceled && err != context.DeadlineExceeded {
+			return err
+		}
+	}
+	return first
+}
+
+// runCell isolates a cell panic into an error so one bad cell cannot take
+// down the whole table run with a goroutine crash.
+func runCell(ctx context.Context, c Cell) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cell %s panicked: %v", c.ID, r)
+		}
+	}()
+	if err := c.Fn(ctx); err != nil {
+		return fmt.Errorf("%s: %w", c.ID, err)
+	}
+	return nil
+}
+
+// Map fans f out over n indexed cells named prefix[i].
+func (e *Engine) Map(ctx context.Context, prefix string, n int, f func(ctx context.Context, i int) error) error {
+	cells := make([]Cell, n)
+	for i := range cells {
+		i := i
+		cells[i] = Cell{ID: fmt.Sprintf("%s[%d]", prefix, i), Fn: func(ctx context.Context) error {
+			return f(ctx, i)
+		}}
+	}
+	return e.Run(ctx, cells)
+}
+
+// AddCycles accounts simulated machine cycles against the engine (the bench
+// report's total_cycles_simulated).
+func (e *Engine) AddCycles(n uint64) { e.cycles.Add(n) }
+
+// Cells returns the number of cells executed since construction/reset.
+func (e *Engine) Cells() uint64 { return e.cells.Load() }
+
+// Cycles returns the simulated cycles accounted since construction/reset.
+func (e *Engine) Cycles() uint64 { return e.cycles.Load() }
+
+// Timings returns a copy of the recorded per-cell timings (empty unless
+// Record is set).
+func (e *Engine) Timings() []CellTiming {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]CellTiming, len(e.timings))
+	copy(out, e.timings)
+	return out
+}
+
+// ResetMetrics clears counters and recorded timings.
+func (e *Engine) ResetMetrics() {
+	e.cells.Store(0)
+	e.cycles.Store(0)
+	e.mu.Lock()
+	e.timings = nil
+	e.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Package defaults: experiment functions keep their zero-argument signatures
+// (bench_test.go, the shape tests and cmd/mipsx-bench all call them), so the
+// engine and config knobs they use are installed package-wide.
+
+var defaultEngine atomic.Pointer[Engine]
+
+// usePredecode gates the predecoded-fetch fast path in machine configs built
+// by defaultConfig (mipsx-bench -predecode=false records the pre-change
+// fetch path for baselines and ablations).
+var usePredecode atomic.Bool
+
+func init() {
+	defaultEngine.Store(&Engine{})
+	usePredecode.Store(true)
+}
+
+// Configure installs a fresh default engine with the given settings and
+// returns it. workers ≤ 0 means GOMAXPROCS; Record controls timing capture.
+func Configure(workers int, timeout time.Duration, record bool) *Engine {
+	e := &Engine{Workers: workers, Timeout: timeout, Record: record}
+	defaultEngine.Store(e)
+	return e
+}
+
+// DefaultEngine returns the engine experiment functions currently use.
+func DefaultEngine() *Engine { return defaultEngine.Load() }
+
+// SetPredecode toggles the predecoded-fetch fast path for machines built by
+// the experiment runners (defaultConfig in runners.go reads it).
+func SetPredecode(on bool) { usePredecode.Store(on) }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -28,21 +29,34 @@ func Table1BranchSchemes() (*Table, error) {
 		Header: []string{"branch scheme", "cycles/branch", "branches", "wasted slots"},
 	}
 	benches := table1Benchmarks()
-	cfg := core.DefaultConfig()
-	for _, scheme := range reorg.Table1Schemes() {
-		agg, err := runSuite(benches, scheme, false, cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(scheme.String(), agg.cyclesPerBranch(), agg.Branches, agg.Wasted)
+	cfg := defaultConfig()
+	schemes := reorg.Table1Schemes()
+	// One cell per scheme (each fans out per-benchmark sub-cells), plus the
+	// shipped configuration with profile feedback ("our most recent results
+	// show that ... the average branch takes 1.27 cycles").
+	aggs := make([]suiteStats, len(schemes)+1)
+	cells := make([]Cell, len(schemes)+1)
+	for i, scheme := range schemes {
+		i, scheme := i, scheme
+		cells[i] = Cell{ID: "E1/" + scheme.String(), Fn: func(ctx context.Context) error {
+			var err error
+			aggs[i], err = runSuite(ctx, benches, scheme, false, cfg)
+			return err
+		}}
 	}
-	// The shipped configuration with profile feedback ("our most recent
-	// results show that ... the average branch takes 1.27 cycles").
-	agg, err := runSuite(benches, reorg.Default(), true, cfg)
-	if err != nil {
+	last := len(schemes)
+	cells[last] = Cell{ID: "E1/profiled", Fn: func(ctx context.Context) error {
+		var err error
+		aggs[last], err = runSuite(ctx, benches, reorg.Default(), true, cfg)
+		return err
+	}}
+	if err := DefaultEngine().Run(context.Background(), cells); err != nil {
 		return nil, err
 	}
-	t.AddRow("2-slot squash optional + profile", agg.cyclesPerBranch(), agg.Branches, agg.Wasted)
+	for i, scheme := range schemes {
+		t.AddRow(scheme.String(), aggs[i].cyclesPerBranch(), aggs[i].Branches, aggs[i].Wasted)
+	}
+	t.AddRow("2-slot squash optional + profile", aggs[last].cyclesPerBranch(), aggs[last].Branches, aggs[last].Wasted)
 	return t, nil
 }
 
@@ -56,9 +70,15 @@ func IcacheDesign() (*Table, error) {
 		Paper:  "single fetch >20% miss; double fetch ~12% miss → 1.24 cycles/fetch; 2-cycle vs 3-cycle miss is the lever",
 		Header: []string{"organization", "miss ratio", "fetch cycles", "words/miss"},
 	}
-	traces := [][]isa.Word{
-		trace.NewSynthesizer(trace.PascalSynth(0)).Generate(300_000),
-		trace.NewSynthesizer(trace.LispSynth(0)).Generate(300_000),
+	ctx := context.Background()
+	eng := DefaultEngine()
+	synths := []trace.SynthConfig{trace.PascalSynth(0), trace.LispSynth(0)}
+	traces := make([][]isa.Word, len(synths))
+	if err := eng.Map(ctx, "E2/trace", len(synths), func(_ context.Context, i int) error {
+		traces[i] = trace.NewSynthesizer(synths[i]).Generate(300_000)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	type org struct {
 		name string
@@ -72,16 +92,23 @@ func IcacheDesign() (*Table, error) {
 		{"double fetch, 3-cycle miss (tags off datapath)", withFetch(base, 2, 3)},
 		{"single fetch, 3-cycle miss", withFetch(base, 1, 3)},
 	}
-	for _, o := range orgs {
-		var miss, cost float64
-		for _, tr := range traces {
-			mr, fc := icacheCost(o.cfg, tr)
-			miss += mr
-			cost += fc
+	// One cell per (organization, trace); traces are shared read-only.
+	type cost struct{ miss, cycles float64 }
+	res := make([]cost, len(orgs)*len(traces))
+	if err := eng.Map(ctx, "E2/org", len(res), func(_ context.Context, k int) error {
+		mr, fc := icacheCost(orgs[k/len(traces)].cfg, traces[k%len(traces)])
+		res[k] = cost{mr, fc}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, o := range orgs {
+		var miss, cycles float64
+		for j := range traces {
+			miss += res[i*len(traces)+j].miss
+			cycles += res[i*len(traces)+j].cycles
 		}
-		miss /= float64(len(traces))
-		cost /= float64(len(traces))
-		t.AddRow(o.name, miss, cost, o.cfg.FetchBack)
+		t.AddRow(o.name, miss/float64(len(traces)), cycles/float64(len(traces)), o.cfg.FetchBack)
 	}
 	t.Notes = append(t.Notes,
 		"fetch cycles = 1 + miss ratio × miss service (Icache stall only; Ecache adds its own)",
@@ -119,30 +146,45 @@ func BranchConditionStats() (*Table, error) {
 		Paper:  "~80% of branches need an explicit compare; 70–80% quick-compare eligible",
 		Header: []string{"metric", "value", "machine"},
 	}
-	// CISC side: fraction of branches whose condition codes came from an
-	// explicit CMP/TST rather than riding on a prior arithmetic op.
+	benches := table1Benchmarks()
+	// CISC side: one cell per benchmark counts whether condition codes came
+	// from an explicit CMP/TST or rode on a prior arithmetic op. MIPS-X side:
+	// one suite cell (fanning out per benchmark).
+	type ccCount struct{ cmp, alu uint64 }
+	vr := make([]ccCount, len(benches))
+	var agg suiteStats
+	cells := make([]Cell, 0, len(benches)+1)
+	for i, b := range benches {
+		i, b := i, b
+		cells = append(cells, Cell{ID: "E3/vax/" + b.Name, Fn: func(ctx context.Context) error {
+			m, err := tinyc.BuildVAX(b.Source)
+			if err != nil {
+				return err
+			}
+			if err := runVAX(ctx, m, 100_000_000); err != nil {
+				return err
+			}
+			vr[i] = ccCount{m.Stats.CCFromCmp, m.Stats.CCFromALU}
+			return nil
+		}})
+	}
+	cells = append(cells, Cell{ID: "E3/mipsx", Fn: func(ctx context.Context) error {
+		var err error
+		agg, err = runSuite(ctx, benches, reorg.Default(), false, defaultConfig())
+		return err
+	}})
+	if err := DefaultEngine().Run(context.Background(), cells); err != nil {
+		return nil, err
+	}
 	var cmp, alu uint64
-	for _, b := range table1Benchmarks() {
-		m, err := tinyc.BuildVAX(b.Source)
-		if err != nil {
-			return nil, err
-		}
-		if err := m.Run(100_000_000); err != nil {
-			return nil, err
-		}
-		cmp += m.Stats.CCFromCmp
-		alu += m.Stats.CCFromALU
+	for _, r := range vr {
+		cmp += r.cmp
+		alu += r.alu
 	}
 	explicit := float64(cmp) / float64(cmp+alu)
 	t.AddRow("branches needing explicit compare", fmt.Sprintf("%.0f%%", 100*explicit), "condition-code CISC")
-
-	// MIPS-X side: quick-compare eligibility (equality compares or sign
-	// tests against zero resolve with a fast comparator; magnitude
-	// compares between two values need the full ALU).
-	agg, err := runSuite(table1Benchmarks(), reorg.Default(), false, core.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
+	// Quick-compare eligibility: equality compares or sign tests against zero
+	// resolve with a fast comparator; magnitude compares need the full ALU.
 	qc := float64(agg.CmpEq+agg.CmpSign) / float64(agg.Branches)
 	t.AddRow("quick-compare eligible branches", fmt.Sprintf("%.0f%%", 100*qc), "MIPS-X")
 	t.AddRow("branches comparing against r0", fmt.Sprintf("%.0f%%", 100*float64(agg.CmpZero)/float64(agg.Branches)), "MIPS-X")
@@ -159,22 +201,32 @@ func BranchCacheVsStatic() (*Table, error) {
 		Paper:  "branch cache must be ≫16 entries for a high hit rate; never much better than static",
 		Header: []string{"predictor", "accuracy", "hit rate"},
 	}
-	// Real branch traces from the compiled suite.
-	var events []trace.BranchEvent
-	for _, b := range table1Benchmarks() {
-		im, err := tinyc.Build(b.Source, reorg.Default(), nil)
+	// Real branch traces from the compiled suite, one cell per benchmark,
+	// concatenated in submission order after the fan-in.
+	benches := table1Benchmarks()
+	perBench := make([][]trace.BranchEvent, len(benches))
+	err := DefaultEngine().Map(context.Background(), "E4/trace", len(benches), func(ctx context.Context, i int) error {
+		im, err := buildCached(benches[i], reorg.Default())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		m := core.New(core.DefaultConfig(), nil)
+		m := core.New(defaultConfig(), nil)
 		m.Load(im)
 		var rec trace.Recorder
 		rec.KeepInstrs = 1
 		rec.Attach(m.CPU)
-		if _, err := m.Run(runLimit); err != nil {
-			return nil, err
+		if err := runMachine(ctx, m); err != nil {
+			return err
 		}
-		events = append(events, rec.Branches...)
+		perBench[i] = rec.Branches
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var events []trace.BranchEvent
+	for _, e := range perBench {
+		events = append(events, e...)
 	}
 	t.AddRow("static (backward taken)", bpred.Accuracy(bpred.Static{}, events), "-")
 	t.AddRow("static + profile", bpred.Accuracy(bpred.NewStaticProfile(events), events), "-")
@@ -243,19 +295,36 @@ func CoprocessorSchemes() (*Table, error) {
 		Header: []string{"interface", "cycles", "vs chosen", "extra pins"},
 	}
 	fp := tinyc.SuiteByClass("fp")[0]
-	chosen, err := run(fp, reorg.Default(), nil, core.DefaultConfig())
-	if err != nil {
+	nc := defaultConfig()
+	nc.Icache.NoCacheCoproc = true
+	var chosen, noncached, direct, indirect *core.Machine
+	cells := []Cell{
+		{ID: "E5/chosen", Fn: func(ctx context.Context) error {
+			var err error
+			chosen, err = run(ctx, fp, reorg.Default(), nil, defaultConfig())
+			return err
+		}},
+		{ID: "E5/non-cached", Fn: func(ctx context.Context) error {
+			var err error
+			noncached, err = run(ctx, fp, reorg.Default(), nil, nc)
+			return err
+		}},
+		{ID: "E5/ldf-stf", Fn: func(ctx context.Context) error {
+			var err error
+			direct, err = runAsm(ctx, fpCopyDirect, defaultConfig())
+			return err
+		}},
+		{ID: "E5/via-cpu", Fn: func(ctx context.Context) error {
+			var err error
+			indirect, err = runAsm(ctx, fpCopyViaCPU, defaultConfig())
+			return err
+		}},
+	}
+	if err := DefaultEngine().Run(context.Background(), cells); err != nil {
 		return nil, err
 	}
 	ch := float64(chosen.CPU.Stats.Cycles)
 	t.AddRow("address pins, cached (chosen)", chosen.CPU.Stats.Cycles, 1.0, 1)
-
-	nc := core.DefaultConfig()
-	nc.Icache.NoCacheCoproc = true
-	noncached, err := run(fp, reorg.Default(), nil, nc)
-	if err != nil {
-		return nil, err
-	}
 	t.AddRow("non-cached coprocessor instructions", noncached.CPU.Stats.Cycles,
 		float64(noncached.CPU.Stats.Cycles)/ch, 1)
 
@@ -268,14 +337,6 @@ func CoprocessorSchemes() (*Table, error) {
 
 	// ldf/stf direct path vs through-CPU-registers, on a memory-heavy FP
 	// kernel written both ways.
-	direct, err := runAsm(fpCopyDirect, core.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
-	indirect, err := runAsm(fpCopyViaCPU, core.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
 	t.AddRow("FPU vector scale via ldf/stf (special coprocessor)", direct.CPU.Stats.Cycles,
 		float64(direct.CPU.Stats.Cycles)/float64(direct.CPU.Stats.Cycles), 1)
 	t.AddRow("FPU vector scale via CPU registers (other coprocessors)", indirect.CPU.Stats.Cycles,
@@ -294,24 +355,50 @@ func SustainedThroughput() (*Table, error) {
 		Paper:  "no-ops: 15.6% Pascal, 18.3% Lisp; ~1.7 cycles/instruction; >11 sustained MIPS (peak 20)",
 		Header: []string{"metric", "pascal", "lisp"},
 	}
-	cfg := core.DefaultConfig()
-	pas, err := runSuite(tinyc.SuiteByClass("pascal"), reorg.Default(), true, cfg)
-	if err != nil {
-		return nil, err
+	cfg := defaultConfig()
+	// Six independent cells: the two compiled suites, the two large
+	// instruction traces, and the two multiprogrammed data traces (the
+	// per-reference Ecache stall is independent of the suites; it is scaled
+	// by each suite's data-reference density after the fan-in).
+	var pas, lis suiteStats
+	var iStall, perRef [2]float64
+	cells := []Cell{
+		{ID: "E6/suite/pascal", Fn: func(ctx context.Context) error {
+			var err error
+			pas, err = runSuite(ctx, tinyc.SuiteByClass("pascal"), reorg.Default(), true, cfg)
+			return err
+		}},
+		{ID: "E6/suite/lisp", Fn: func(ctx context.Context) error {
+			var err error
+			lis, err = runSuite(ctx, tinyc.SuiteByClass("lisp"), reorg.Default(), true, cfg)
+			return err
+		}},
+		{ID: "E6/icache/pascal", Fn: func(context.Context) error {
+			iStall[0] = icacheStallPerInstr(trace.PascalSynth(0))
+			return nil
+		}},
+		{ID: "E6/icache/lisp", Fn: func(context.Context) error {
+			iStall[1] = icacheStallPerInstr(trace.LispSynth(0))
+			return nil
+		}},
+		{ID: "E6/ecache/pascal", Fn: func(context.Context) error {
+			perRef[0] = ecachePerRefStall(1)
+			return nil
+		}},
+		{ID: "E6/ecache/lisp", Fn: func(context.Context) error {
+			perRef[1] = ecachePerRefStall(2)
+			return nil
+		}},
 	}
-	lis, err := runSuite(tinyc.SuiteByClass("lisp"), reorg.Default(), true, cfg)
-	if err != nil {
+	if err := DefaultEngine().Run(context.Background(), cells); err != nil {
 		return nil, err
 	}
 	t.AddRow("no-op fraction", fmt.Sprintf("%.1f%%", 100*pas.nopFraction()), fmt.Sprintf("%.1f%%", 100*lis.nopFraction()))
 	t.AddRow("pipeline CPI (suite, caches warm)", pas.cpi(), lis.cpi())
-
-	// Large-program memory overheads, trace-driven as in the paper.
-	iPas := icacheStallPerInstr(trace.PascalSynth(0))
-	iLis := icacheStallPerInstr(trace.LispSynth(0))
+	iPas, iLis := iStall[0], iStall[1]
 	t.AddRow("icache stalls/instr (large traces)", iPas, iLis)
-	dPas := ecacheStallPerInstr(pas, 1)
-	dLis := ecacheStallPerInstr(lis, 2)
+	dPas := pas.refsPerInstr() * perRef[0]
+	dLis := lis.refsPerInstr() * perRef[1]
 	t.AddRow("ecache stalls/instr (large data)", dPas, dLis)
 
 	cpiPas := pipelineOnlyCPI(pas) + iPas + dPas
@@ -328,6 +415,11 @@ func pipelineOnlyCPI(s suiteStats) float64 {
 	return float64(s.Cycles-s.IcacheStalls-s.DataStalls) / float64(s.issued())
 }
 
+// refsPerInstr is the suite's data references per issued instruction.
+func (s suiteStats) refsPerInstr() float64 {
+	return float64(s.Loads+s.Stores) / float64(s.issued())
+}
+
 // icacheStallPerInstr measures Icache stall cycles per instruction on a
 // large synthetic trace.
 func icacheStallPerInstr(cfg trace.SynthConfig) float64 {
@@ -337,14 +429,12 @@ func icacheStallPerInstr(cfg trace.SynthConfig) float64 {
 	return cost - 1
 }
 
-// ecacheStallPerInstr estimates external-cache data stalls per instruction:
-// the suite's data-reference density times the Ecache's per-reference stall
-// on a large multiprogrammed data trace (the paper's ATUM-style estimate).
-func ecacheStallPerInstr(s suiteStats, seed int64) float64 {
-	refsPerInstr := float64(s.Loads+s.Stores) / float64(s.issued())
-	// A multiprogrammed data trace with working sets beyond the Ecache size
-	// (the paper used ATUM multiprogrammed traces because its benchmarks fit
-	// the Ecache entirely).
+// ecachePerRefStall measures the Ecache's stall per data reference on a
+// multiprogrammed data trace with working sets beyond the Ecache size (the
+// paper used ATUM multiprogrammed traces because its benchmarks fit the
+// Ecache entirely). Scaling by a suite's reference density gives its
+// estimated data stalls per instruction.
+func ecachePerRefStall(seed int64) float64 {
 	cfgA := trace.PascalSynth(160 * 1024)
 	cfgA.Seed = seed
 	cfgB := trace.LispSynth(160 * 1024)
@@ -358,8 +448,7 @@ func ecacheStallPerInstr(s suiteStats, seed int64) float64 {
 	for _, a := range tr {
 		e.Read(a)
 	}
-	perRef := float64(e.Stats.StallCycles) / float64(e.Stats.Accesses())
-	return refsPerInstr * perRef
+	return float64(e.Stats.StallCycles) / float64(e.Stats.Accesses())
 }
 
 // VAXComparison reproduces the conclusions' CISC comparison: MIPS-X
@@ -372,39 +461,52 @@ func VAXComparison() (*Table, error) {
 		Paper:  "path length +25% (to +80%), static size +25%, speedup 10–14×",
 		Header: []string{"benchmark", "path ratio", "size ratio", "speedup"},
 	}
-	var lnPath, lnSize, lnSpeed float64
-	n := 0
-	for _, b := range table1Benchmarks() {
-		m, err := runProfiled(b, reorg.Default(), core.DefaultConfig())
+	benches := table1Benchmarks()
+	// One cell per benchmark runs both machines; ratios assemble after the
+	// fan-in, in benchmark order, then the geometric mean.
+	type ratios struct{ path, size, speed float64 }
+	rows := make([]ratios, len(benches))
+	err := DefaultEngine().Map(context.Background(), "E7", len(benches), func(ctx context.Context, i int) error {
+		b := benches[i]
+		m, err := runProfiled(ctx, b, reorg.Default(), defaultConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		vm, err := tinyc.BuildVAX(b.Source)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if err := vm.Run(200_000_000); err != nil {
-			return nil, err
+		if err := runVAX(ctx, vm, 200_000_000); err != nil {
+			return err
 		}
-		im, err := tinyc.Build(b.Source, reorg.Default(), nil)
+		im, err := buildCached(b, reorg.Default())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		riscInstr := float64(m.CPU.Stats.Issued())
 		ciscInstr := float64(vm.Stats.Instructions)
 		riscTime := float64(m.CPU.Stats.Cycles) / core.ClockMHz // µs
 		ciscTime := float64(vm.Stats.Cycles) / vaxlike.ClockMHz
-		path := riscInstr / ciscInstr
-		size := float64(tinyc.StaticInstructions(im)) / float64(len(vm.Code))
-		speed := ciscTime / riscTime
-		t.AddRow(b.Name, path, size, speed)
-		lnPath += math.Log(path)
-		lnSize += math.Log(size)
-		lnSpeed += math.Log(speed)
-		n++
+		rows[i] = ratios{
+			path:  riscInstr / ciscInstr,
+			size:  float64(tinyc.StaticInstructions(im)) / float64(len(vm.Code)),
+			speed: ciscTime / riscTime,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	t.AddRow("geometric mean", math.Exp(lnPath/float64(n)),
-		math.Exp(lnSize/float64(n)), math.Exp(lnSpeed/float64(n)))
+	var lnPath, lnSize, lnSpeed float64
+	for i, b := range benches {
+		r := rows[i]
+		t.AddRow(b.Name, r.path, r.size, r.speed)
+		lnPath += math.Log(r.path)
+		lnSize += math.Log(r.size)
+		lnSpeed += math.Log(r.speed)
+	}
+	n := float64(len(benches))
+	t.AddRow("geometric mean", math.Exp(lnPath/n), math.Exp(lnSize/n), math.Exp(lnSpeed/n))
 	t.Notes = append(t.Notes,
 		"matmul's path ratio is dominated by the 32-step multiply sequences standing against one microcoded CISC MUL",
 		"static size includes the multiply/divide step runtime, which the CISC needs no equivalent of")
@@ -421,13 +523,21 @@ func MemoryBandwidth() (*Table, error) {
 		Paper:  "average demand ~26 MW/s, peak 40 MW/s; Icache gives a second port to memory",
 		Header: []string{"metric", "MW/s"},
 	}
-	agg := core.Stats{}
-	for _, b := range table1Benchmarks() {
-		m, err := run(b, reorg.Default(), nil, core.DefaultConfig())
+	benches := table1Benchmarks()
+	stats := make([]core.Stats, len(benches))
+	err := DefaultEngine().Map(context.Background(), "E9", len(benches), func(ctx context.Context, i int) error {
+		m, err := run(ctx, benches[i], reorg.Default(), nil, defaultConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s := m.Stats()
+		stats[i] = m.Stats()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := core.Stats{}
+	for _, s := range stats {
 		agg.Pipeline.Fetches += s.Pipeline.Fetches
 		agg.Pipeline.Loads += s.Pipeline.Loads
 		agg.Pipeline.Stores += s.Pipeline.Stores
@@ -454,37 +564,38 @@ func EcacheAblations() (*Table, error) {
 		Paper:  "FIFO ~12% worse than LRU; write-through traffic ≫ copy-back; miss ratio falls with size",
 		Header: []string{"configuration", "miss ratio", "bus words/1k refs"},
 	}
-	tr := trace.Interleave([][]isa.Word{
-		trace.NewSynthesizer(trace.PascalSynth(64 * 1024)).Generate(120_000),
-		trace.NewSynthesizer(trace.LispSynth(64 * 1024)).Generate(120_000),
-	}, 10_000)
-	runCfg := func(name string, cfg ecache.Config, writes bool) {
-		m := mem.New()
-		bus := mem.DefaultBus()
-		e := ecache.New(cfg, m, bus)
-		for i, a := range tr {
-			if writes && i%5 == 0 {
-				e.Write(a, 1)
-			} else {
-				e.Read(a)
-			}
+	ctx := context.Background()
+	eng := DefaultEngine()
+	parts := make([][]isa.Word, 2)
+	if err := eng.Map(ctx, "E10/trace", 2, func(_ context.Context, i int) error {
+		if i == 0 {
+			parts[i] = trace.NewSynthesizer(trace.PascalSynth(64 * 1024)).Generate(120_000)
+		} else {
+			parts[i] = trace.NewSynthesizer(trace.LispSynth(64 * 1024)).Generate(120_000)
 		}
-		t.AddRow(name, fmt.Sprintf("%.4f", e.Stats.MissRatio()),
-			fmt.Sprintf("%.0f", 1000*float64(bus.WordsCarried)/float64(len(tr))))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	tr := trace.Interleave(parts, 10_000)
+	type ablation struct {
+		name   string
+		cfg    ecache.Config
+		writes bool
+	}
+	var abls []ablation
 	for _, size := range []int{4096, 16384, 65536} {
 		cfg := ecache.Config{SizeWords: size, LineWords: 4, Ways: 2, Repl: ecache.LRU, Write: ecache.CopyBack}
-		runCfg(fmt.Sprintf("LRU %dK words", size/1024), cfg, false)
+		abls = append(abls, ablation{fmt.Sprintf("LRU %dK words", size/1024), cfg, false})
 	}
-	fifo := ecache.Config{SizeWords: 16384, LineWords: 4, Ways: 2, Repl: ecache.FIFO, Write: ecache.CopyBack}
-	runCfg("FIFO 16K words", fifo, false)
-	rnd := ecache.Config{SizeWords: 16384, LineWords: 4, Ways: 2, Repl: ecache.Random, Write: ecache.CopyBack}
-	runCfg("Random 16K words", rnd, false)
+	abls = append(abls,
+		ablation{"FIFO 16K words", ecache.Config{SizeWords: 16384, LineWords: 4, Ways: 2, Repl: ecache.FIFO, Write: ecache.CopyBack}, false},
+		ablation{"Random 16K words", ecache.Config{SizeWords: 16384, LineWords: 4, Ways: 2, Repl: ecache.Random, Write: ecache.CopyBack}, false})
 	cb := ecache.Config{SizeWords: 16384, LineWords: 4, Ways: 2, Repl: ecache.LRU, Write: ecache.CopyBack}
-	runCfg("copy-back 16K, 20% writes", cb, true)
+	abls = append(abls, ablation{"copy-back 16K, 20% writes", cb, true})
 	wt := cb
 	wt.Write = ecache.WriteThrough
-	runCfg("write-through 16K, 20% writes", wt, true)
+	abls = append(abls, ablation{"write-through 16K, 20% writes", wt, true})
 	// Smith's fetch algorithms (survey §2.1): one-block-lookahead prefetch.
 	for _, p := range []struct {
 		name string
@@ -497,14 +608,39 @@ func EcacheAblations() (*Table, error) {
 	} {
 		cfg := ecache.Config{SizeWords: 16384, LineWords: 8, Ways: 2,
 			Repl: ecache.LRU, Write: ecache.CopyBack, Fetch: p.f}
-		runCfg(p.name, cfg, false)
+		abls = append(abls, ablation{p.name, cfg, false})
+	}
+	// One cell per configuration over the shared read-only trace.
+	type result struct{ miss, bus string }
+	res := make([]result, len(abls))
+	if err := eng.Map(ctx, "E10", len(abls), func(_ context.Context, i int) error {
+		m := mem.New()
+		bus := mem.DefaultBus()
+		e := ecache.New(abls[i].cfg, m, bus)
+		for k, a := range tr {
+			if abls[i].writes && k%5 == 0 {
+				e.Write(a, 1)
+			} else {
+				e.Read(a)
+			}
+		}
+		res[i] = result{fmt.Sprintf("%.4f", e.Stats.MissRatio()),
+			fmt.Sprintf("%.0f", 1000*float64(bus.WordsCarried)/float64(len(tr)))}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, a := range abls {
+		t.AddRow(a.name, res[i].miss, res[i].bus)
 	}
 	t.Notes = append(t.Notes,
 		"prefetch rows reproduce Smith's ordering: always ≈ tagged ≪ on-miss < demand for the miss ratio, at higher bus traffic")
 	return t, nil
 }
 
-// All runs every experiment in DESIGN.md order.
+// All runs every experiment in DESIGN.md order. The experiments themselves
+// run as engine cells (each fanning out its own sub-cells), so the whole
+// suite saturates the worker pool; tables come back in order regardless.
 func All() ([]*Table, error) {
 	fns := []func() (*Table, error){
 		Table1BranchSchemes, IcacheDesign, BranchConditionStats,
@@ -512,13 +648,25 @@ func All() ([]*Table, error) {
 		VAXComparison, ExceptionHandling, MemoryBandwidth, EcacheAblations,
 		MultiprocessorScaling,
 	}
-	var out []*Table
-	for _, f := range fns {
-		tb, err := f()
+	out := make([]*Table, len(fns))
+	err := DefaultEngine().Map(context.Background(), "experiment", len(fns), func(_ context.Context, i int) error {
+		tb, err := fns[i]()
 		if err != nil {
-			return out, err
+			return err
 		}
-		out = append(out, tb)
+		out[i] = tb
+		return nil
+	})
+	if err != nil {
+		// Preserve the partial prefix the serial runner used to return.
+		var done []*Table
+		for _, tb := range out {
+			if tb == nil {
+				break
+			}
+			done = append(done, tb)
+		}
+		return done, err
 	}
 	return out, nil
 }

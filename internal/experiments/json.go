@@ -1,0 +1,101 @@
+package experiments
+
+// Machine-readable bench results for `mipsx-bench -json`: what CI records as
+// BENCH_pr.json, compares against BENCH_baseline.json, and uploads as an
+// artifact. The document carries the rendered tables verbatim so a drift
+// check is a pure string comparison, plus the wall-clock accounting the
+// regression tracking needs. Deliberately no timestamps or hostnames: two
+// runs of the same binary at the same settings must produce documents that
+// differ only in the timing fields.
+
+import (
+	"encoding/json"
+	"runtime"
+	"time"
+)
+
+// BenchSchema identifies the document format.
+const BenchSchema = "mipsx-bench/v1"
+
+// ExpResult is one experiment's outcome.
+type ExpResult struct {
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	WallMS float64  `json:"wall_ms"`
+	Header []string `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string `json:"notes,omitempty"`
+	// Text is the rendered table exactly as the CLI prints it — the unit of
+	// the golden drift check.
+	Text string `json:"text"`
+}
+
+// BenchDoc is the full report.
+type BenchDoc struct {
+	Schema     string `json:"schema"`
+	Parallel   int    `json:"parallel"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Predecode  bool   `json:"predecode"`
+	GoVersion  string `json:"go_version"`
+
+	Experiments []ExpResult `json:"experiments"`
+
+	TotalWallMS          float64      `json:"total_wall_ms"`
+	TotalCyclesSimulated uint64       `json:"total_cycles_simulated"`
+	Cells                uint64       `json:"cells"`
+	CellsPerSec          float64      `json:"cells_per_sec"`
+	CellTimings          []CellTiming `json:"cell_timings,omitempty"`
+}
+
+// NewBenchDoc assembles a report from rendered tables and the engine's
+// counters. wall is the whole suite's wall clock; perExp the per-experiment
+// wall clocks, index-aligned with tables.
+func NewBenchDoc(tables []*Table, perExp []time.Duration, wall time.Duration, parallel int, predecode bool, e *Engine) *BenchDoc {
+	doc := &BenchDoc{
+		Schema:               BenchSchema,
+		Parallel:             parallel,
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		Predecode:            predecode,
+		GoVersion:            runtime.Version(),
+		TotalWallMS:          float64(wall) / 1e6,
+		TotalCyclesSimulated: e.Cycles(),
+		Cells:                e.Cells(),
+		CellTimings:          e.Timings(),
+	}
+	if wall > 0 {
+		doc.CellsPerSec = float64(e.Cells()) / wall.Seconds()
+	}
+	for i, t := range tables {
+		r := ExpResult{
+			ID:     t.ID,
+			Title:  t.Title,
+			Header: t.Header,
+			Rows:   t.Rows,
+			Notes:  t.Notes,
+			Text:   t.String(),
+		}
+		if i < len(perExp) {
+			r.WallMS = float64(perExp[i]) / 1e6
+		}
+		doc.Experiments = append(doc.Experiments, r)
+	}
+	return doc
+}
+
+// Marshal renders the document as indented JSON with a trailing newline.
+func (d *BenchDoc) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseBenchDoc reads a report written by Marshal.
+func ParseBenchDoc(b []byte) (*BenchDoc, error) {
+	var d BenchDoc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

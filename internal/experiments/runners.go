@@ -1,30 +1,127 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/reorg"
 	"repro/internal/tinyc"
 	"repro/internal/trace"
+	"repro/internal/vaxlike"
 )
 
 // runLimit bounds every experiment run.
 const runLimit = 50_000_000
 
+// runChunk is the cycle budget a machine simulates between cancellation
+// checks; cells observe Engine.Timeout and ctx cancellation at this
+// granularity (Machine.Run is resumable across calls).
+const runChunk = 2_000_000
+
+// defaultConfig is core.DefaultConfig with the package-level predecode knob
+// applied (see SetPredecode); every experiment builds machines from it.
+func defaultConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Icache.Predecode = usePredecode.Load()
+	return cfg
+}
+
+// runMachine runs m until it halts or runLimit cycles pass, in runChunk
+// slices so cancellation is observed, accounting simulated cycles to the
+// default engine.
+func runMachine(ctx context.Context, m *core.Machine) error {
+	e := DefaultEngine()
+	var total uint64
+	for {
+		if err := ctx.Err(); err != nil {
+			e.AddCycles(total)
+			return err
+		}
+		n, err := m.Run(runChunk)
+		total += n
+		if err == nil {
+			e.AddCycles(total)
+			return nil
+		}
+		if total >= runLimit {
+			e.AddCycles(total)
+			return fmt.Errorf("no halt within %d cycles (pc %#x)", runLimit, m.CPU.PC())
+		}
+	}
+}
+
+// runVAX runs the CISC reference machine until it halts or maxInstr
+// instructions retire, in runChunk slices so cancellation is observed
+// (vaxlike.Run counts instructions against an absolute limit, so it is
+// resumable the same way Machine.Run is).
+func runVAX(ctx context.Context, vm *vaxlike.Machine, maxInstr uint64) error {
+	for limit := uint64(runChunk); ; limit += runChunk {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if limit > maxInstr {
+			limit = maxInstr
+		}
+		err := vm.Run(limit)
+		if err == nil {
+			DefaultEngine().AddCycles(vm.Stats.Cycles)
+			return nil
+		}
+		// A real step error leaves the machine short of the limit; only a
+		// limit hit below the cap means "keep going".
+		if vm.Stats.Instructions < limit || limit >= maxInstr {
+			return err
+		}
+	}
+}
+
+// buildCache memoizes unprofiled tinyc builds keyed by (benchmark, scheme):
+// several experiments compile the same suite under the same scheme, and
+// images are immutable once built (Machine.Load copies the words into the
+// machine's own memory), so cells can share them freely.
+var buildCache sync.Map // buildKey -> *asm.Image
+
+type buildKey struct {
+	name   string
+	scheme reorg.Scheme
+}
+
+func buildCached(b tinyc.Benchmark, scheme reorg.Scheme) (*asm.Image, error) {
+	key := buildKey{b.Name, scheme}
+	if v, ok := buildCache.Load(key); ok {
+		return v.(*asm.Image), nil
+	}
+	im, err := tinyc.Build(b.Source, scheme, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Build is deterministic, so a racing duplicate is identical; the first
+	// store wins and everyone shares one image.
+	v, _ := buildCache.LoadOrStore(key, im)
+	return v.(*asm.Image), nil
+}
+
 // run builds a tinyc benchmark for the scheme and runs it to completion on
 // a machine with the given configuration (BranchSlots is forced to match
 // the scheme). Returns the machine for its statistics.
-func run(b tinyc.Benchmark, scheme reorg.Scheme, prof reorg.Profile, cfg core.Config) (*core.Machine, error) {
-	im, err := tinyc.Build(b.Source, scheme, prof)
+func run(ctx context.Context, b tinyc.Benchmark, scheme reorg.Scheme, prof reorg.Profile, cfg core.Config) (*core.Machine, error) {
+	var im *asm.Image
+	var err error
+	if prof == nil {
+		im, err = buildCached(b, scheme)
+	} else {
+		im, err = tinyc.Build(b.Source, scheme, prof)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
 	cfg.Pipeline.BranchSlots = scheme.Slots
 	m := core.New(cfg, nil)
 	m.Load(im)
-	if _, err := m.Run(runLimit); err != nil {
+	if err := runMachine(ctx, m); err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
 	if want := b.Expect(); m.Output() != want {
@@ -36,8 +133,8 @@ func run(b tinyc.Benchmark, scheme reorg.Scheme, prof reorg.Profile, cfg core.Co
 // runProfiled runs twice: once to collect a branch profile, then rebuilt
 // with the profile — the paper's "static prediction (possibly with
 // profiling)" toolchain.
-func runProfiled(b tinyc.Benchmark, scheme reorg.Scheme, cfg core.Config) (*core.Machine, error) {
-	im, err := tinyc.Build(b.Source, scheme, nil)
+func runProfiled(ctx context.Context, b tinyc.Benchmark, scheme reorg.Scheme, cfg core.Config) (*core.Machine, error) {
+	im, err := buildCached(b, scheme)
 	if err != nil {
 		return nil, err
 	}
@@ -48,11 +145,11 @@ func runProfiled(b tinyc.Benchmark, scheme reorg.Scheme, cfg core.Config) (*core
 	var rec trace.Recorder
 	rec.KeepInstrs = 1 // only branches matter for the profile
 	rec.Attach(m1.CPU)
-	if _, err := m1.Run(runLimit); err != nil {
+	if err := runMachine(ctx, m1); err != nil {
 		return nil, err
 	}
 	prof := trace.Profile(im, rec.Branches)
-	return run(b, scheme, prof, cfg)
+	return run(ctx, b, scheme, prof, cfg)
 }
 
 // suiteStats aggregates pipeline stats over a set of benchmarks.
@@ -106,20 +203,24 @@ func (s *suiteStats) cpi() float64 {
 	return float64(s.Cycles) / float64(s.issued())
 }
 
-// runSuite runs the given benchmarks under one scheme and aggregates.
-func runSuite(benches []tinyc.Benchmark, scheme reorg.Scheme, profiled bool, cfg core.Config) (suiteStats, error) {
-	var agg suiteStats
-	for _, b := range benches {
-		var m *core.Machine
+// runSuite runs the benchmarks under one scheme, one engine cell per
+// benchmark, and aggregates in submission order after the fan-in.
+func runSuite(ctx context.Context, benches []tinyc.Benchmark, scheme reorg.Scheme, profiled bool, cfg core.Config) (suiteStats, error) {
+	ms := make([]*core.Machine, len(benches))
+	err := DefaultEngine().Map(ctx, "suite/"+scheme.String(), len(benches), func(ctx context.Context, i int) error {
 		var err error
 		if profiled {
-			m, err = runProfiled(b, scheme, cfg)
+			ms[i], err = runProfiled(ctx, benches[i], scheme, cfg)
 		} else {
-			m, err = run(b, scheme, nil, cfg)
+			ms[i], err = run(ctx, benches[i], scheme, nil, cfg)
 		}
-		if err != nil {
-			return agg, err
-		}
+		return err
+	})
+	var agg suiteStats
+	if err != nil {
+		return agg, err
+	}
+	for _, m := range ms {
 		agg.add(m)
 	}
 	return agg, nil
@@ -127,14 +228,14 @@ func runSuite(benches []tinyc.Benchmark, scheme reorg.Scheme, profiled bool, cfg
 
 // runAsm assembles and runs hand-written (already scheduled) assembly on
 // the given configuration.
-func runAsm(src string, cfg core.Config) (*core.Machine, error) {
+func runAsm(ctx context.Context, src string, cfg core.Config) (*core.Machine, error) {
 	im, err := asm.AssembleSource(src, 0)
 	if err != nil {
 		return nil, err
 	}
 	m := core.New(cfg, nil)
 	m.Load(im)
-	if _, err := m.Run(runLimit); err != nil {
+	if err := runMachine(ctx, m); err != nil {
 		return nil, err
 	}
 	return m, nil

@@ -19,6 +19,7 @@ package icache
 import (
 	"repro/internal/ecache"
 	"repro/internal/isa"
+	"repro/internal/predecode"
 )
 
 // Config parameterizes the Icache organization, exposing the axes the
@@ -39,12 +40,17 @@ type Config struct {
 	// Disabled runs with the cache turned off (every fetch misses and
 	// nothing is allocated) — the paper's instruction-register test feature.
 	Disabled bool
+	// Predecode enables the decoded-instruction side table behind
+	// FetchDecoded: each loaded word is decoded once and revalidated by
+	// word compare on later fetches (see internal/predecode). It is a pure
+	// simulator fast path — cycle counts and all statistics are unchanged.
+	Predecode bool
 }
 
 // DefaultConfig is the Icache as built: 4 sets × 8 ways × 16 words = 512
-// words, double fetch, 2-cycle miss service.
+// words, double fetch, 2-cycle miss service, predecoded fetch.
 func DefaultConfig() Config {
-	return Config{Sets: 4, Ways: 8, BlockWords: 16, FetchBack: 2, MissPenalty: 2}
+	return Config{Sets: 4, Ways: 8, BlockWords: 16, FetchBack: 2, MissPenalty: 2, Predecode: true}
 }
 
 // SizeWords returns the data capacity.
@@ -95,6 +101,10 @@ type Cache struct {
 	// advanced by Fetch during miss service and observable by tests.
 	FSM MissFSM
 
+	// pre is the decoded-instruction side table behind FetchDecoded
+	// (nil when Config.Predecode is off).
+	pre *predecode.Table
+
 	// isCoprocInstr classifies an instruction word for NoCacheCoproc mode.
 	isCoprocInstr func(isa.Word) bool
 }
@@ -118,15 +128,29 @@ func New(cfg Config, backing *ecache.Cache) *Cache {
 			return isa.Decode(w).IsCoproc()
 		},
 	}
+	// Flat backing arrays: one allocation for all blocks and two for all
+	// per-word bits, instead of 2×sets×ways tiny slices. Machines are built
+	// per experiment cell, so constructor cost is on the bench hot path.
+	blocks := make([]block, cfg.Sets*cfg.Ways)
+	bits := make([]bool, 2*cfg.Sets*cfg.Ways*cfg.BlockWords)
+	valid, coproc := bits[:len(bits)/2], bits[len(bits)/2:]
 	for i := range c.sets {
-		c.sets[i] = make([]block, cfg.Ways)
+		c.sets[i] = blocks[i*cfg.Ways : (i+1)*cfg.Ways]
 		for j := range c.sets[i] {
-			c.sets[i][j].valid = make([]bool, cfg.BlockWords)
-			c.sets[i][j].coproc = make([]bool, cfg.BlockWords)
+			k := (i*cfg.Ways + j) * cfg.BlockWords
+			c.sets[i][j].valid = valid[k : k+cfg.BlockWords]
+			c.sets[i][j].coproc = coproc[k : k+cfg.BlockWords]
 		}
+	}
+	if cfg.Predecode {
+		c.pre = predecode.New(backing.Mem)
 	}
 	return c
 }
+
+// Predecode exposes the decoded-instruction side table (nil when disabled),
+// for tests and the bench report.
+func (c *Cache) Predecode() *predecode.Table { return c.pre }
 
 func log2(v int) uint {
 	var n uint
@@ -167,21 +191,50 @@ func (c *Cache) Present(a isa.Word) bool {
 // states.
 func (c *Cache) Fetch(a isa.Word) (isa.Word, int) {
 	c.Stats.Fetches++
-	if !c.cfg.Disabled {
-		set, tag, off := c.index(a)
-		for i := range c.sets[set] {
-			b := &c.sets[set][i]
-			if b.inUse && b.tag == tag && b.valid[off] {
-				c.tick++
-				b.use = c.tick
-				// Hits read the word from the backing hierarchy's notion of
-				// memory; the Icache models presence (see ecache.fill).
-				return c.Backing.Mem.Peek(a), 0
-			}
+	if c.hit(a) {
+		// Hits read the word from the backing hierarchy's notion of
+		// memory; the Icache models presence (see ecache.fill).
+		return c.Backing.Mem.Peek(a), 0
+	}
+	return c.serviceMiss(a)
+}
+
+// FetchDecoded is Fetch through the predecode side table: identical hit/miss
+// behaviour, stall charges and statistics, but the instruction comes back
+// already decoded. With predecode disabled it decodes inline.
+func (c *Cache) FetchDecoded(a isa.Word) (isa.Instruction, int) {
+	if c.pre == nil {
+		w, stall := c.Fetch(a)
+		return isa.Decode(w), stall
+	}
+	c.Stats.Fetches++
+	if c.hit(a) {
+		return c.pre.Get(a), 0
+	}
+	_, stall := c.serviceMiss(a)
+	return c.pre.Get(a), stall
+}
+
+// hit probes the cache for address a, updating the LRU stamp on a hit.
+func (c *Cache) hit(a isa.Word) bool {
+	if c.cfg.Disabled {
+		return false
+	}
+	set, tag, off := c.index(a)
+	for i := range c.sets[set] {
+		b := &c.sets[set][i]
+		if b.inUse && b.tag == tag && b.valid[off] {
+			c.tick++
+			b.use = c.tick
+			return true
 		}
 	}
-	// Miss: stall MissPenalty cycles while FetchBack words come back over
-	// the data pins, plus whatever the Ecache access costs.
+	return false
+}
+
+// serviceMiss stalls MissPenalty cycles while FetchBack words come back over
+// the data pins, plus whatever the Ecache access costs.
+func (c *Cache) serviceMiss(a isa.Word) (isa.Word, int) {
 	c.Stats.Misses++
 	stall := c.cfg.MissPenalty
 	c.FSM.Run(c.cfg.MissPenalty)

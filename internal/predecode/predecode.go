@@ -1,0 +1,86 @@
+// Package predecode caches decoded instructions so the simulator's hottest
+// loop — one isa.Decode per fetched word per simulated cycle — collapses to
+// an array load after the first execution of each word.
+//
+// A Table mirrors the paging of the mem.Memory it shadows. Each slot holds
+// the raw word a decode was made from alongside the decoded form; Get
+// revalidates the slot against the current memory word on every fetch.
+// Because isa.Decode is a pure function of the word, compare-on-fetch IS the
+// invalidation rule: a store into instruction memory (self-modifying code,
+// exception handlers patched at run time, another node writing through a
+// shared memory) changes the backing word, the stale slot mismatches, and
+// the word is re-decoded. No write hooks are needed, and a table is sound
+// even when several tables shadow one shared memory (internal/multi).
+//
+// The cost model: a predecoded fetch is one map lookup (the table page) plus
+// one array index and a word compare, replacing the memory page lookup and
+// the full field unpack of isa.Decode. The memory page pointer is cached in
+// the table page (mem.Memory guarantees page arrays are never replaced), so
+// the memory's own map is not consulted again after the first touch.
+package predecode
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// slot pairs a decoded instruction with the raw word it was decoded from.
+type slot struct {
+	word  isa.Word
+	known bool
+	in    isa.Instruction
+}
+
+// page shadows one memory page.
+type page struct {
+	mp    *[mem.PageSize]isa.Word // cached backing page; nil until allocated
+	slots [mem.PageSize]slot
+}
+
+// Stats counts table behaviour (observable by tests and the JSON report).
+type Stats struct {
+	Hits    uint64 // fetches served from a valid slot
+	Decodes uint64 // slot fills and refills (first touch or invalidation)
+}
+
+// Table is a decoded-instruction side table over one memory.
+type Table struct {
+	mem   *mem.Memory
+	pages map[isa.Word]*page
+
+	Stats Stats
+}
+
+// New builds an empty table shadowing m.
+func New(m *mem.Memory) *Table {
+	return &Table{mem: m, pages: make(map[isa.Word]*page)}
+}
+
+// Get returns the decoded instruction at word address a, decoding at most
+// once per distinct word value held there.
+func (t *Table) Get(a isa.Word) isa.Instruction {
+	p := t.pages[a>>mem.PageBits]
+	if p == nil {
+		p = new(page)
+		t.pages[a>>mem.PageBits] = p
+	}
+	if p.mp == nil {
+		// The memory page may not exist yet (fetch from never-written
+		// memory reads zero); re-check until it appears.
+		p.mp = t.mem.PagePtr(a >> mem.PageBits)
+	}
+	var w isa.Word
+	if p.mp != nil {
+		w = p.mp[a&mem.PageMask]
+	}
+	s := &p.slots[a&mem.PageMask]
+	if !s.known || s.word != w {
+		s.word = w
+		s.in = isa.Decode(w)
+		s.known = true
+		t.Stats.Decodes++
+		return s.in
+	}
+	t.Stats.Hits++
+	return s.in
+}

@@ -1,0 +1,107 @@
+package predecode
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func TestGetDecodesOnceAndCaches(t *testing.T) {
+	m := mem.New()
+	in := isa.Instruction{Class: isa.ClassComputeImm, Imm: isa.ImmAddi, Rd: 3, Rs1: 0, Off: 42}
+	m.Write(100, in.Encode())
+	tb := New(m)
+
+	for i := 0; i < 5; i++ {
+		got := tb.Get(100)
+		if got != isa.Decode(in.Encode()) {
+			t.Fatalf("Get #%d = %+v, want %+v", i, got, in)
+		}
+	}
+	if tb.Stats.Decodes != 1 {
+		t.Errorf("Decodes = %d, want 1 (decode once, hit after)", tb.Stats.Decodes)
+	}
+	if tb.Stats.Hits != 4 {
+		t.Errorf("Hits = %d, want 4", tb.Stats.Hits)
+	}
+}
+
+func TestWriteInvalidatesSlot(t *testing.T) {
+	m := mem.New()
+	a := isa.Word(7)
+	old := isa.Instruction{Class: isa.ClassComputeImm, Imm: isa.ImmAddi, Rd: 1, Off: 1}
+	neu := isa.Instruction{Class: isa.ClassComputeImm, Imm: isa.ImmAddi, Rd: 2, Off: 2}
+	m.Write(a, old.Encode())
+	tb := New(m)
+
+	if got := tb.Get(a); got.Rd != 1 {
+		t.Fatalf("before write: rd = %d, want 1", got.Rd)
+	}
+	// Self-modifying store: the raw word changes, the slot must refill.
+	m.Write(a, neu.Encode())
+	if got := tb.Get(a); got.Rd != 2 {
+		t.Fatalf("after write: rd = %d, want 2 (stale predecode)", got.Rd)
+	}
+	if tb.Stats.Decodes != 2 {
+		t.Errorf("Decodes = %d, want 2", tb.Stats.Decodes)
+	}
+}
+
+func TestFetchBeforePageExists(t *testing.T) {
+	m := mem.New()
+	tb := New(m)
+	// Never-written memory reads zero; decode of 0 is the harmless ld r0.
+	if got := tb.Get(5000); got != isa.Decode(0) {
+		t.Fatalf("unwritten fetch = %+v, want decode(0)", got)
+	}
+	// The page appears later (e.g. the program is loaded after a stray
+	// fetch, or another node writes it); the table must see it.
+	in := isa.Instruction{Class: isa.ClassComputeImm, Imm: isa.ImmAddi, Rd: 9, Off: 9}
+	m.Write(5000, in.Encode())
+	if got := tb.Get(5000); got.Rd != 9 {
+		t.Fatalf("after late write: rd = %d, want 9", got.Rd)
+	}
+}
+
+func TestSharedMemoryTwoTables(t *testing.T) {
+	// Two tables over one memory (the multiprocessor shape): a write by one
+	// node must be seen by the other node's table.
+	m := mem.New()
+	t1, t2 := New(m), New(m)
+	a := isa.Word(64)
+	one := isa.Instruction{Class: isa.ClassComputeImm, Imm: isa.ImmAddi, Rd: 1, Off: 1}
+	two := isa.Instruction{Class: isa.ClassComputeImm, Imm: isa.ImmAddi, Rd: 2, Off: 2}
+	m.Write(a, one.Encode())
+	if t1.Get(a).Rd != 1 || t2.Get(a).Rd != 1 {
+		t.Fatal("initial decode wrong")
+	}
+	m.Write(a, two.Encode())
+	if t1.Get(a).Rd != 2 || t2.Get(a).Rd != 2 {
+		t.Fatal("cross-table invalidation failed")
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	m := mem.New()
+	for i := 0; i < 256; i++ {
+		m.Write(isa.Word(i), isa.Nop().Encode())
+	}
+	tb := New(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Get(isa.Word(i & 255))
+	}
+}
+
+func BenchmarkPeekPlusDecode(b *testing.B) {
+	// The path predecode replaces: memory lookup + full decode.
+	m := mem.New()
+	for i := 0; i < 256; i++ {
+		m.Write(isa.Word(i), isa.Nop().Encode())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = isa.Decode(m.Peek(isa.Word(i & 255)))
+	}
+}
