@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race lint-suite fuzz bench
+.PHONY: check build test vet race lint-suite fuzz bench bench-hot
 
 check: vet build test race lint-suite
 
@@ -28,9 +28,18 @@ lint-suite:
 fuzz:
 	$(GO) test ./internal/lint -fuzz=FuzzCompileReorgLint -fuzztime=60s
 
-# Bench-regression tracking: regenerate the machine-readable report, verify
-# every experiment table against the recorded golden baseline (exit 1 on
-# drift), and run the Go benchmarks once. CI uploads BENCH_pr.json.
+# Bench-regression tracking: verify every experiment table against the
+# recorded golden baseline (exit 1 on drift) twice over one cache directory
+# — cold (recording) then hot (replaying) — so an unsound memo key surfaces
+# as table drift; the hot pass's report is BENCH_pr.json, then run the Go
+# benchmarks once. CI uploads BENCH_pr.json.
+BENCHCACHE ?= .benchcache
 bench:
-	$(GO) run ./cmd/mipsx-bench -check BENCH_baseline.json -json > BENCH_pr.json
+	rm -rf $(BENCHCACHE)
+	$(GO) run ./cmd/mipsx-bench -check BENCH_baseline.json -cache $(BENCHCACHE) -json > BENCH_cold.json
+	$(GO) run ./cmd/mipsx-bench -check BENCH_baseline.json -cache $(BENCHCACHE) -json > BENCH_pr.json
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# Hot-only pass against an existing cache directory (after `make bench`).
+bench-hot:
+	$(GO) run ./cmd/mipsx-bench -check BENCH_baseline.json -cache $(BENCHCACHE) -json > BENCH_pr.json

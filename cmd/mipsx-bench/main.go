@@ -11,11 +11,16 @@
 //	mipsx-bench -check BENCH_baseline.json
 //	                                     # fail (exit 1) if any table drifts
 //	                                     # from the recorded baseline
+//	mipsx-bench -cache .benchcache       # persist the content-addressed
+//	                                     # result cache across runs
+//	mipsx-bench -progress                # live cells/hit-rate/rate lines
 //
-// Tables are byte-identical at every -parallel level and with -predecode on
-// or off; only the timing fields of the JSON report vary. CI records the
-// report as BENCH_pr.json and gates merges on -check against the checked-in
-// baseline.
+// Tables are byte-identical at every -parallel level, with -predecode on or
+// off, and with the result cache cold or hot; only the timing and memo
+// fields of the JSON report vary. CI records the report as BENCH_pr.json and
+// gates merges on -check against the checked-in baseline, running the check
+// twice against one cache directory (cold, then hot) so an unsound memo key
+// surfaces as table drift.
 package main
 
 import (
@@ -55,10 +60,23 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable report on stdout instead of tables")
 	check := flag.String("check", "", "baseline JSON report; exit 1 if any table differs")
 	predecode := flag.Bool("predecode", true, "use the predecoded instruction-fetch fast path")
+	cacheDir := flag.String("cache", "",
+		"directory backing the content-addressed result cache (empty = in-memory only)")
+	progress := flag.Bool("progress", false,
+		"print live progress to stderr (cells done/total, memo hit rate, cells/sec)")
 	flag.Parse()
 
 	experiments.SetPredecode(*predecode)
 	eng := experiments.Configure(*parallel, *timeout, *jsonOut || *check != "")
+	store, err := experiments.NewMemoStore(*cacheDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mipsx-bench: %v\n", err)
+		os.Exit(1)
+	}
+	eng.Store = store
+	if *progress {
+		eng.Progress = os.Stderr
+	}
 
 	selected := exps
 	if *only != "" {
@@ -88,6 +106,7 @@ func main() {
 		perExp[i] = time.Since(t0)
 	}
 	wall := time.Since(start)
+	eng.FlushProgress()
 
 	doc := experiments.NewBenchDoc(tables, perExp, wall, *parallel, *predecode, eng)
 
@@ -150,6 +169,10 @@ func compare(path string, doc *experiments.BenchDoc) int {
 		return 1
 	}
 	fmt.Fprintf(os.Stderr, "mipsx-bench: all %d experiment tables match %s\n", len(doc.Experiments), path)
+	if lookups := doc.MemoHits + doc.MemoMisses; lookups > 0 {
+		fmt.Fprintf(os.Stderr, "mipsx-bench: memo hits %d of %d lookups (%.0f%%)\n",
+			doc.MemoHits, lookups, 100*doc.MemoHitRate)
+	}
 	if base.TotalWallMS > 0 && doc.TotalWallMS > 0 {
 		fmt.Fprintf(os.Stderr, "mipsx-bench: wall %.0f ms vs baseline %.0f ms (%.2fx; baseline parallel=%d predecode=%v, now parallel=%d predecode=%v, GOMAXPROCS=%d)\n",
 			doc.TotalWallMS, base.TotalWallMS, base.TotalWallMS/doc.TotalWallMS,

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/coproc"
 	"repro/internal/ecache"
 	"repro/internal/icache"
+	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/pipeline"
 )
@@ -131,19 +133,63 @@ func (m *Machine) LoadSource(src string) error {
 	return nil
 }
 
+// ErrNotHalted marks the resumable cycle-limit condition: the program did
+// not halt within the budget Run was given, but the machine is in a sound
+// state and a further Run call continues exactly where this one stopped.
+// Callers that slice long simulations into chunks (the experiment runners)
+// must test for it with errors.Is and treat every other error as a genuine,
+// non-resumable machine fault.
+var ErrNotHalted = errors.New("cycle limit reached before halt")
+
+// runawaySlack is how far past the end of the loaded image the PC may
+// wander before Run declares a runaway fault. The pipeline legitimately
+// fetches a few words beyond the final halt while it drains; anything
+// further means control transferred into unloaded memory (a missing halt,
+// or a computed jump through a corrupted register), which would otherwise
+// burn the whole cycle budget executing zero words and be misreported as
+// "no halt".
+const runawaySlack = 64
+
+// FaultError is a genuine, non-resumable machine fault: continuing the
+// simulation cannot produce a meaningful result.
+type FaultError struct {
+	PC     isa.Word
+	Cycles uint64
+	Reason string
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("core: machine fault at pc %#x after %d cycles: %s", e.PC, e.Cycles, e.Reason)
+}
+
 // Run executes until the program halts (console coprocessor halt command)
 // or maxCycles elapse. It returns the number of cycles consumed and an
-// error if the limit was hit first.
+// error if the program did not complete: a wrapped ErrNotHalted when the
+// cycle limit was hit (resumable — call Run again to continue), or a
+// *FaultError when the machine cannot meaningfully continue (the PC ran
+// away from the loaded image).
 func (m *Machine) Run(maxCycles uint64) (uint64, error) {
 	var cycles uint64
+	// Runaway bound: one word past the image plus drain slack. Image bases
+	// in single-machine runs are 0 (the exception vector), so only the
+	// upper bound can be crossed.
+	var runawayAt isa.Word
+	if m.Image != nil {
+		runawayAt = m.Image.Base + isa.Word(len(m.Image.Words)) + runawaySlack
+	}
 	for !m.Console.Halted {
 		// Wire the interrupt controller to the CPU's interrupt line, as the
 		// off-chip interrupt unit would: level-triggered, deasserted once
 		// the handler has drained the pending causes.
 		m.CPU.IntLine = m.IntC.Pending()
 		cycles += uint64(m.CPU.Step())
+		if pc := m.CPU.PC(); runawayAt != 0 && pc >= runawayAt {
+			return cycles, &FaultError{PC: pc, Cycles: cycles,
+				Reason: fmt.Sprintf("pc ran outside the loaded image [%#x, %#x)", m.Image.Base,
+					m.Image.Base+isa.Word(len(m.Image.Words)))}
+		}
 		if cycles >= maxCycles {
-			return cycles, fmt.Errorf("core: no halt within %d cycles (pc %#x)", maxCycles, m.CPU.PC())
+			return cycles, fmt.Errorf("core: no halt within %d cycles (pc %#x): %w", maxCycles, m.CPU.PC(), ErrNotHalted)
 		}
 	}
 	return cycles, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -191,8 +192,51 @@ func TestRunLimitError(t *testing.T) {
 	if err := m.LoadSource("main:\tb main\n\tnop\n\tnop\n"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(1000); err == nil {
+	_, err := m.Run(1000)
+	if err == nil {
 		t.Fatal("expected cycle-limit error for an infinite loop")
+	}
+	// The limit condition is the resumable sentinel, not a fault: chunked
+	// runners resume it, and it must never be confused with a machine fault.
+	if !errors.Is(err, ErrNotHalted) {
+		t.Fatalf("limit error %v does not wrap ErrNotHalted", err)
+	}
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		t.Fatalf("limit error %v claims to be a machine fault", err)
+	}
+	// Resumable: the loop keeps running in a second chunk and hits the
+	// limit again rather than faulting.
+	if _, err := m.Run(1000); !errors.Is(err, ErrNotHalted) {
+		t.Fatalf("resumed run: %v, want ErrNotHalted again", err)
+	}
+}
+
+func TestRunFaultsOnRunawayPC(t *testing.T) {
+	// A program that never halts: execution falls off the end of the image
+	// into unloaded memory. That is a genuine fault and must be reported as
+	// one immediately — not burn the whole cycle budget and come back as a
+	// misleading "no halt within N cycles".
+	m := New(DefaultConfig(), nil)
+	if err := m.LoadSource("main:\tadd r1, r0, r0\n\tnop\n"); err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := m.Run(1_000_000)
+	if err == nil {
+		t.Fatal("expected a runaway fault")
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err %v is not a *FaultError", err)
+	}
+	if errors.Is(err, ErrNotHalted) {
+		t.Fatalf("fault %v must not look like the resumable limit sentinel", err)
+	}
+	if cycles >= 1_000_000 {
+		t.Fatalf("fault took %d cycles to surface: limit masked it", cycles)
+	}
+	if !strings.Contains(err.Error(), "outside the loaded image") {
+		t.Fatalf("fault message %q does not name the runaway", err)
 	}
 }
 

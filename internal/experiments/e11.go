@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/core"
@@ -22,7 +23,7 @@ func runCluster(ctx context.Context, c *multi.Cluster, maxCycles uint64) error {
 		for _, n := range c.Nodes {
 			sum += n.CPU.Stats.Cycles
 		}
-		DefaultEngine().AddCycles(sum)
+		DefaultEngine().AddCyclesCtx(ctx, sum)
 	}
 	for limit := uint64(runChunk); ; limit += runChunk {
 		if err := ctx.Err(); err != nil {
@@ -41,6 +42,44 @@ func runCluster(ctx context.Context, c *multi.Cluster, maxCycles uint64) error {
 			account()
 			return err
 		}
+	}
+}
+
+// clusterCell builds a memoizable cell that runs n copies of src on an
+// n-node shared-bus cluster and deposits the cluster summary in *out.
+func clusterCell(id, src string, n int, out *multi.Stats) Cell {
+	return Cell{
+		ID: id,
+		Fn: func(ctx context.Context) error {
+			srcs := make([]string, n)
+			for j := range srcs {
+				srcs[j] = src
+			}
+			c := multi.New(n, defaultConfig())
+			if err := c.LoadPrograms(srcs, reorg.Default()); err != nil {
+				return err
+			}
+			if err := runCluster(ctx, c, e11ClusterLimit); err != nil {
+				return err
+			}
+			*out = c.Stats()
+			return nil
+		},
+		Memo: &CellMemo{
+			Key: func() (string, error) {
+				// tinyc.Build is deterministic over (source, scheme), so the
+				// source plus the scheme covers the per-node images.
+				k := newKey("cluster")
+				k.str("source", src)
+				k.str("scheme", reorg.Default().String())
+				k.num("nodes", uint64(n))
+				k.num("limit", e11ClusterLimit)
+				k.config(defaultConfig())
+				return k.sum(), nil
+			},
+			Save: func() (any, error) { return out, nil },
+			Load: func(data []byte) error { return json.Unmarshal(data, out) },
+		},
 	}
 }
 
@@ -64,42 +103,20 @@ func MultiprocessorScaling() (*Table, error) {
 
 	// Each cluster size is a cell (a whole cluster shares state internally
 	// but nothing across cells), plus a cell for the VAX reference rate on
-	// the same program.
-	var vaxSeconds float64
+	// the same program. All are memoizable: the cluster's closure is the
+	// program source, the reorg scheme, the node count, the per-node config
+	// and the cycle limit (multi.Stats is pure exported scalars).
+	var vaxRes VAXResult
 	stats := make([]multi.Stats, len(sizes))
 	cells := make([]Cell, 0, len(sizes)+1)
-	cells = append(cells, Cell{ID: "E11/vax", Fn: func(ctx context.Context) error {
-		vm, err := tinyc.BuildVAX(bench.Source)
-		if err != nil {
-			return err
-		}
-		if err := runVAX(ctx, vm, 200_000_000); err != nil {
-			return err
-		}
-		vaxSeconds = float64(vm.Stats.Cycles) / (5.0 * 1e6) // 5 MHz clock
-		return nil
-	}})
+	cells = append(cells, vaxCell("E11/vax", bench.Source, 200_000_000, &vaxRes))
 	for i, n := range sizes {
-		i, n := i, n
-		cells = append(cells, Cell{ID: fmt.Sprintf("E11/nodes=%d", n), Fn: func(ctx context.Context) error {
-			srcs := make([]string, n)
-			for j := range srcs {
-				srcs[j] = bench.Source
-			}
-			c := multi.New(n, defaultConfig())
-			if err := c.LoadPrograms(srcs, reorg.Default()); err != nil {
-				return err
-			}
-			if err := runCluster(ctx, c, e11ClusterLimit); err != nil {
-				return err
-			}
-			stats[i] = c.Stats()
-			return nil
-		}})
+		cells = append(cells, clusterCell(fmt.Sprintf("E11/nodes=%d", n), bench.Source, n, &stats[i]))
 	}
 	if err := DefaultEngine().Run(context.Background(), cells); err != nil {
 		return nil, err
 	}
+	vaxSeconds := float64(vaxRes.Stats.Cycles) / (5.0 * 1e6) // 5 MHz clock
 	for i, n := range sizes {
 		s := stats[i]
 		// n programs finished in makespan cycles; the VAX does them one

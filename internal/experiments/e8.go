@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/icache"
 	"repro/internal/pipeline"
 )
@@ -79,48 +78,31 @@ main:	li r9, 0x7FFFFFFF
 	add r11, r9, r9
 	halt
 `
-	var base, trap, br, trapM, stickyM *core.Machine
+	// Five independent memoizable machine runs, one cell each (RunResult
+	// carries the register file, PSW and squash-FSM counters the rows
+	// read, so replays are state-identical to live runs).
+	var base, trap, br, trapM, stickyM RunResult
 	cells := []Cell{
-		{ID: "E8/base-loop", Fn: func(ctx context.Context) error {
-			var err error
-			base, err = runAsm(ctx, trapLoop(iters, false), defaultConfig())
-			return err
-		}},
-		{ID: "E8/trap-loop", Fn: func(ctx context.Context) error {
-			var err error
-			trap, err = runAsm(ctx, trapLoop(iters, true), defaultConfig())
-			return err
-		}},
-		{ID: "E8/branch-squash", Fn: func(ctx context.Context) error {
-			var err error
-			br, err = runAsm(ctx, handlerAsm+brSrc, defaultConfig())
-			return err
-		}},
-		{ID: "E8/overflow-trap", Fn: func(ctx context.Context) error {
-			var err error
-			trapM, err = runAsm(ctx, handlerAsm+ovf, defaultConfig())
-			return err
-		}},
-		{ID: "E8/overflow-sticky", Fn: func(ctx context.Context) error {
-			var err error
-			stickyM, err = runAsm(ctx, handlerAsm+ovf, sticky)
-			return err
-		}},
+		asmCell("E8/base-loop", trapLoop(iters, false), defaultConfig(), &base),
+		asmCell("E8/trap-loop", trapLoop(iters, true), defaultConfig(), &trap),
+		asmCell("E8/branch-squash", handlerAsm+brSrc, defaultConfig(), &br),
+		asmCell("E8/overflow-trap", handlerAsm+ovf, defaultConfig(), &trapM),
+		asmCell("E8/overflow-sticky", handlerAsm+ovf, sticky, &stickyM),
 	}
 	if err := DefaultEngine().Run(context.Background(), cells); err != nil {
 		return nil, err
 	}
-	if trap.CPU.Reg(23) != iters {
-		return nil, fmt.Errorf("exception loop took %d exceptions, want %d", trap.CPU.Reg(23), iters)
+	if trap.Regs[23] != iters {
+		return nil, fmt.Errorf("exception loop took %d exceptions, want %d", trap.Regs[23], iters)
 	}
-	perTrap := float64(trap.CPU.Stats.Cycles-base.CPU.Stats.Cycles) / iters
+	perTrap := float64(trap.Stats.Pipeline.Cycles-base.Stats.Pipeline.Cycles) / iters
 	t.AddRow("cycles per exception (entry + minimal handler + 3-jump restart)", perTrap)
-	t.AddRow("exceptions taken", trap.CPU.Stats.Exceptions)
-	t.AddRow("instructions killed per exception", float64(trap.CPU.Stats.Killed)/iters)
-	t.AddRow("squash FSM events from exceptions", trap.CPU.Squash.Events[pipeline.CauseException])
+	t.AddRow("exceptions taken", trap.Stats.Pipeline.Exceptions)
+	t.AddRow("instructions killed per exception", float64(trap.Stats.Pipeline.Killed)/iters)
+	t.AddRow("squash FSM events from exceptions", trap.SquashEvents[pipeline.CauseException])
 
 	// The same FSM driven by branch squashing (the single extra input).
-	t.AddRow("squash FSM events from branches (same machine)", br.CPU.Squash.Events[pipeline.CauseBranch])
+	t.AddRow("squash FSM events from branches (same machine)", br.SquashEvents[pipeline.CauseBranch])
 
 	// Figure 4: the cache-miss FSM walk for the chosen 2-cycle service.
 	var fsm string
@@ -134,9 +116,9 @@ main:	li r9, 0x7FFFFFFF
 	// and vectors; the sticky bit completes the instruction and only
 	// records the fact.
 	t.AddRow("trap-on-overflow: exceptions / result written", fmt.Sprintf("%d / %v",
-		trapM.CPU.Stats.Exceptions, trapM.CPU.Reg(11) != 0))
+		trapM.Stats.Pipeline.Exceptions, trapM.Regs[11] != 0))
 	t.AddRow("sticky-overflow:  exceptions / result written / PSW bit", fmt.Sprintf("%d / %v / %v",
-		stickyM.CPU.Stats.Exceptions, stickyM.CPU.Reg(11) != 0, stickyM.CPU.PSW()&8 != 0))
+		stickyM.Stats.Pipeline.Exceptions, stickyM.Regs[11] != 0, stickyM.PSW&8 != 0))
 	t.Notes = append(t.Notes,
 		"the two FSMs occupy <0.2% of die area on the chip; here they are the only global controllers, as on the chip")
 	return t, nil

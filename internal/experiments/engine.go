@@ -15,7 +15,10 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,13 +31,61 @@ import (
 type Cell struct {
 	ID string
 	Fn func(ctx context.Context) error
+	// Memo, when set, makes the cell content-addressable: the engine
+	// consults its store before running Fn and replays a recorded result
+	// instead when the key hits.
+	Memo *CellMemo
 }
 
-// CellTiming records one executed cell for the bench report.
+// CellMemo is a cell's memoization contract. The runner that builds the
+// cell owns the key (only it knows the cell's full input closure) and the
+// serialization of its result; the engine owns lookup, replay and
+// recording.
+type CellMemo struct {
+	// Key returns the content hash of the cell's full input closure (see
+	// memo.go for the closure rule). An error means the closure could not
+	// be computed (e.g. the program failed to build); the cell then runs
+	// live and surfaces the error itself.
+	Key func() (string, error)
+	// Save returns the cell's serializable result after a live run; the
+	// engine records its JSON encoding under the key.
+	Save func() (any, error)
+	// Load installs a recorded result in place of running Fn.
+	Load func(data []byte) error
+}
+
+// CellTiming records one scheduled cell for the bench report.
 type CellTiming struct {
 	ID     string  `json:"id"`
 	WallMS float64 `json:"wall_ms"`
 	Err    string  `json:"err,omitempty"`
+	// Memo marks a cell replayed from the content-addressed cache.
+	Memo bool `json:"memo,omitempty"`
+	// Skipped marks a cell claimed after a cancellation (another cell's
+	// failure, a timeout, or the caller's ctx); it never ran.
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// cellMeter attributes simulated cycles to the cell that accounted them,
+// so a memo entry can replay exactly the cycles its live run reported.
+// Meters chain: nested cells (E1's per-scheme suites fan out per-benchmark
+// sub-cells) propagate their cycles to every enclosing cell's meter.
+type cellMeter struct {
+	n      atomic.Uint64
+	parent *cellMeter
+}
+
+type meterKeyType struct{}
+
+func (m *cellMeter) add(n uint64) {
+	for ; m != nil; m = m.parent {
+		m.n.Add(n)
+	}
+}
+
+func meterFrom(ctx context.Context) *cellMeter {
+	m, _ := ctx.Value(meterKeyType{}).(*cellMeter)
+	return m
 }
 
 // Engine schedules cells across a worker pool.
@@ -50,12 +101,72 @@ type Engine struct {
 	// long-lived default engines (tests, benchmarks) don't grow without
 	// bound.
 	Record bool
+	// Store, when non-nil, enables content-addressed memoization for cells
+	// that carry a Memo contract.
+	Store *MemoStore
+	// Progress, when non-nil, receives one-line progress updates (cells
+	// done/submitted, memo hit rate, cells/sec) as cells complete, at most
+	// one every progressEvery.
+	Progress io.Writer
 
-	cells  atomic.Uint64 // cells executed
-	cycles atomic.Uint64 // simulated machine cycles, reported by cell bodies
+	cells     atomic.Uint64 // cells executed or replayed
+	cycles    atomic.Uint64 // simulated machine cycles, reported by cell bodies
+	submitted atomic.Uint64 // cells handed to Run since construction/reset
+	started   atomic.Int64  // first-submission wall clock (UnixNano), for cells/sec
+	lastProg  atomic.Int64  // last progress line's wall clock (UnixNano)
 
 	mu      sync.Mutex
 	timings []CellTiming
+}
+
+// progressEvery throttles progress lines.
+const progressEvery = 250 * time.Millisecond
+
+// MemoHits and MemoMisses report the store's lookup outcomes (0 without a
+// store).
+func (e *Engine) MemoHits() uint64 {
+	if e.Store == nil {
+		return 0
+	}
+	return e.Store.Hits()
+}
+
+func (e *Engine) MemoMisses() uint64 {
+	if e.Store == nil {
+		return 0
+	}
+	return e.Store.Misses()
+}
+
+// FlushProgress forces out a final progress line (end-of-run summary),
+// bypassing the throttle. No-op without a Progress writer.
+func (e *Engine) FlushProgress() { e.reportProgress(true) }
+
+// reportProgress emits a throttled one-line update after a cell completes
+// (final forces the line out, for the end-of-run summary).
+func (e *Engine) reportProgress(final bool) {
+	if e.Progress == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := e.lastProg.Load()
+	if !final && now-last < int64(progressEvery) {
+		return
+	}
+	if !e.lastProg.CompareAndSwap(last, now) {
+		return // another worker is printing this tick
+	}
+	done, total := e.cells.Load(), e.submitted.Load()
+	var rate float64
+	if start := e.started.Load(); start > 0 && now > start {
+		rate = float64(done) / (float64(now-start) / 1e9)
+	}
+	if e.Store != nil {
+		fmt.Fprintf(e.Progress, "cells %d/%d  memo hits %d (%.0f%%)  %.0f cells/s\n",
+			done, total, e.Store.Hits(), 100*e.Store.HitRate(), rate)
+	} else {
+		fmt.Fprintf(e.Progress, "cells %d/%d  %.0f cells/s\n", done, total, rate)
+	}
 }
 
 // Run executes the cells and returns the first error in cell order (cells
@@ -72,6 +183,8 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) error {
 	if len(cells) == 0 {
 		return nil
 	}
+	e.submitted.Add(uint64(len(cells)))
+	e.started.CompareAndSwap(0, time.Now().UnixNano())
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -90,24 +203,24 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) error {
 					return
 				}
 				if err := ctx.Err(); err != nil {
+					// Claimed after a cancellation: the cell never ran.
+					// Stamp the timing row with the cell's identity and a
+					// skipped marker so the report carries no anonymous
+					// zero-value entries.
 					errs[i] = err
+					timings[i] = CellTiming{ID: cells[i].ID, Err: "skipped: " + err.Error(), Skipped: true}
 					continue
 				}
-				cctx := ctx
-				ccancel := func() {}
-				if e.Timeout > 0 {
-					cctx, ccancel = context.WithTimeout(ctx, e.Timeout)
-				}
 				start := time.Now()
-				err := runCell(cctx, cells[i])
-				ccancel()
+				replayed, err := e.runOne(ctx, cells[i])
 				e.cells.Add(1)
-				timings[i] = CellTiming{ID: cells[i].ID, WallMS: float64(time.Since(start)) / 1e6}
+				timings[i] = CellTiming{ID: cells[i].ID, WallMS: float64(time.Since(start)) / 1e6, Memo: replayed}
 				if err != nil {
 					timings[i].Err = err.Error()
 					errs[i] = err
 					cancel()
 				}
+				e.reportProgress(false)
 			}
 		}()
 	}
@@ -118,8 +231,15 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) error {
 		e.timings = append(e.timings, timings...)
 		e.mu.Unlock()
 	}
-	// First real (non-cancellation) error in submission order, so failures
-	// report deterministically at a given parallelism.
+	// First error in submission order that is not a cancellation, so the
+	// root cause is reported deterministically at any parallelism: when a
+	// cell fails, cancel() aborts still-running lower-index cells, and
+	// their context.Canceled must not mask the error that triggered it
+	// (cell errors arrive wrapped with the cell ID, so this must be
+	// errors.Is, not sentinel equality). A cell's own deadline expiry is a
+	// real failure; only cancellation marks a victim. Fall back to the
+	// first cancellation when no cell failed for its own reason (the
+	// caller cancelled the whole run).
 	var first error
 	for _, err := range errs {
 		if err == nil {
@@ -128,11 +248,62 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) error {
 		if first == nil {
 			first = err
 		}
-		if err != context.Canceled && err != context.DeadlineExceeded {
+		if !errors.Is(err, context.Canceled) {
 			return err
 		}
 	}
 	return first
+}
+
+// runOne executes one cell: a content-addressed replay when the cell is
+// memoizable and its key hits, a live run otherwise (recording the result
+// on success).
+func (e *Engine) runOne(ctx context.Context, c Cell) (replayed bool, err error) {
+	var key string
+	if c.Memo != nil && e.Store != nil && c.Memo.Key != nil {
+		k, kerr := c.Memo.Key()
+		if kerr == nil {
+			key = k
+			if entry, ok := e.Store.get(key); ok && c.Memo.Load != nil {
+				if lerr := c.Memo.Load(entry.Data); lerr == nil {
+					// Replay: account the recorded simulated cycles exactly
+					// as the live run did, to the engine and to any
+					// enclosing cell's meter.
+					e.cycles.Add(entry.Cycles)
+					meterFrom(ctx).add(entry.Cycles)
+					return true, nil
+				}
+				// An undecodable entry is treated as a miss; the live run
+				// below overwrites it.
+			}
+		}
+		// A key error means the input closure itself could not be built
+		// (e.g. compilation failed); the live run surfaces that error.
+	}
+
+	cctx := ctx
+	ccancel := func() {}
+	if e.Timeout > 0 {
+		cctx, ccancel = context.WithTimeout(ctx, e.Timeout)
+	}
+	defer ccancel()
+	// The cell gets its own meter, chained to any enclosing cell's, so its
+	// simulated cycles can be recorded with the result.
+	meter := &cellMeter{parent: meterFrom(ctx)}
+	cctx = context.WithValue(cctx, meterKeyType{}, meter)
+
+	if err := runCell(cctx, c); err != nil {
+		return false, err
+	}
+	if key != "" && c.Memo.Save != nil {
+		if res, serr := c.Memo.Save(); serr == nil {
+			if data, jerr := json.Marshal(res); jerr == nil {
+				e.Store.put(memoEntry{Schema: memoSchema, Key: key, CellID: c.ID,
+					Cycles: meter.n.Load(), Data: data})
+			}
+		}
+	}
+	return false, nil
 }
 
 // runCell isolates a cell panic into an error so one bad cell cannot take
@@ -165,6 +336,15 @@ func (e *Engine) Map(ctx context.Context, prefix string, n int, f func(ctx conte
 // report's total_cycles_simulated).
 func (e *Engine) AddCycles(n uint64) { e.cycles.Add(n) }
 
+// AddCyclesCtx accounts simulated cycles against the engine and attributes
+// them to the running cell (and its enclosing cells), so memoized cells
+// record exactly the cycles their live run reported. Cell bodies should
+// prefer this over AddCycles whenever they have the cell's ctx.
+func (e *Engine) AddCyclesCtx(ctx context.Context, n uint64) {
+	e.cycles.Add(n)
+	meterFrom(ctx).add(n)
+}
+
 // Cells returns the number of cells executed since construction/reset.
 func (e *Engine) Cells() uint64 { return e.cells.Load() }
 
@@ -185,6 +365,8 @@ func (e *Engine) Timings() []CellTiming {
 func (e *Engine) ResetMetrics() {
 	e.cells.Store(0)
 	e.cycles.Store(0)
+	e.submitted.Store(0)
+	e.started.Store(0)
 	e.mu.Lock()
 	e.timings = nil
 	e.mu.Unlock()

@@ -6,7 +6,7 @@ package experiments
 // check is a pure string comparison, plus the wall-clock accounting the
 // regression tracking needs. Deliberately no timestamps or hostnames: two
 // runs of the same binary at the same settings must produce documents that
-// differ only in the timing fields.
+// differ only in the timing and memo-counter fields.
 
 import (
 	"encoding/json"
@@ -44,6 +44,9 @@ type BenchDoc struct {
 	TotalCyclesSimulated uint64       `json:"total_cycles_simulated"`
 	Cells                uint64       `json:"cells"`
 	CellsPerSec          float64      `json:"cells_per_sec"`
+	MemoHits             uint64       `json:"memo_hits"`
+	MemoMisses           uint64       `json:"memo_misses"`
+	MemoHitRate          float64      `json:"memo_hit_rate"`
 	CellTimings          []CellTiming `json:"cell_timings,omitempty"`
 }
 
@@ -60,7 +63,12 @@ func NewBenchDoc(tables []*Table, perExp []time.Duration, wall time.Duration, pa
 		TotalWallMS:          float64(wall) / 1e6,
 		TotalCyclesSimulated: e.Cycles(),
 		Cells:                e.Cells(),
+		MemoHits:             e.MemoHits(),
+		MemoMisses:           e.MemoMisses(),
 		CellTimings:          e.Timings(),
+	}
+	if e.Store != nil {
+		doc.MemoHitRate = e.Store.HitRate()
 	}
 	if wall > 0 {
 		doc.CellsPerSec = float64(e.Cells()) / wall.Seconds()

@@ -1,0 +1,220 @@
+package experiments
+
+// Content-addressed cell memoization. A cell's key is a stable hash of its
+// full input closure — everything the simulated result is a function of:
+// the assembled program words, the machine configuration, the
+// scheme/profile parameters of the toolchain, and any trace inputs. Given
+// that closure, the simulator is deterministic, so a recorded result can
+// be replayed byte-for-byte in place of re-simulating the cell (the same
+// one-trace/many-configurations economics as the trace-driven cache
+// studies in Smith's survey). The golden `-check` gate runs with the cache
+// both cold and hot, so an unsound key — one that fails to cover part of
+// the closure — shows up as table drift, not silent corruption.
+//
+// The closure rule for key builders: hash every input that can change the
+// simulated outcome, and nothing that cannot (worker counts, wall-clock
+// budgets, whether predecode is a fast path — though the Icache config,
+// predecode included, is hashed anyway: over-hashing only costs a cache
+// miss, under-hashing costs correctness). Bump memoEpoch whenever the
+// simulator's semantics change, so stale on-disk entries from older
+// binaries can never replay into new tables.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// memoSchema identifies the on-disk entry format.
+const memoSchema = "mipsx-memo/v1"
+
+// memoEpoch is folded into every key. Bump it when simulator semantics
+// change (cycle accounting, pipeline behaviour, toolchain output), so that
+// on-disk caches recorded by older binaries miss instead of replaying
+// stale results.
+const memoEpoch = 1
+
+// memoEntry is one recorded cell result.
+type memoEntry struct {
+	Schema string `json:"schema"`
+	Key    string `json:"key"`
+	// CellID is the recording cell's ID, kept for cache-dir forensics only;
+	// it is not part of the identity (several cells may share one key).
+	CellID string `json:"cell_id"`
+	// Cycles is the simulated-cycle count the live run accounted against
+	// the engine, replayed on a hit so hot and cold runs report identical
+	// total_cycles_simulated.
+	Cycles uint64          `json:"cycles"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// MemoStore is the content-addressed result cache: an in-memory map,
+// optionally backed by a directory of JSON entries (one file per key) that
+// persists across processes. The zero store is not usable; call
+// NewMemoStore.
+type MemoStore struct {
+	dir string // "" = memory-only
+
+	mu  sync.RWMutex
+	mem map[string]memoEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewMemoStore opens a store. dir == "" keeps results in memory only
+// (still useful: experiments within one run share identical cells);
+// otherwise entries are also written to dir, which is created if needed.
+func NewMemoStore(dir string) (*MemoStore, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("memo cache: %w", err)
+		}
+	}
+	return &MemoStore{dir: dir, mem: make(map[string]memoEntry)}, nil
+}
+
+// Hits and Misses report lookup outcomes since construction.
+func (s *MemoStore) Hits() uint64   { return s.hits.Load() }
+func (s *MemoStore) Misses() uint64 { return s.misses.Load() }
+
+// HitRate is hits over all lookups (0 when nothing was looked up).
+func (s *MemoStore) HitRate() float64 {
+	h, m := s.hits.Load(), s.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+func (s *MemoStore) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// get returns the recorded entry for key, consulting memory first and then
+// the backing directory. Unreadable or mismatched disk entries are treated
+// as misses (a live run overwrites them).
+func (s *MemoStore) get(key string) (memoEntry, bool) {
+	s.mu.RLock()
+	e, ok := s.mem[key]
+	s.mu.RUnlock()
+	if !ok && s.dir != "" {
+		b, err := os.ReadFile(s.path(key))
+		if err == nil && json.Unmarshal(b, &e) == nil && e.Schema == memoSchema && e.Key == key {
+			ok = true
+			s.mu.Lock()
+			s.mem[key] = e
+			s.mu.Unlock()
+		}
+	}
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return e, ok
+}
+
+// put records an entry in memory and, when backed, on disk. Racing
+// duplicates are identical by construction (the simulator is deterministic
+// over the key's closure), so last-write-wins is sound.
+func (s *MemoStore) put(e memoEntry) {
+	s.mu.Lock()
+	s.mem[e.Key] = e
+	s.mu.Unlock()
+	if s.dir == "" {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	// Write-rename so a concurrent reader never sees a torn entry.
+	tmp := s.path(e.Key) + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, s.path(e.Key))
+}
+
+// ---------------------------------------------------------------------------
+// Key builder
+
+// keyBuilder accumulates a cell's input closure into a sha256 hash. Every
+// write is length- and label-framed, so adjacent fields can never alias
+// (the hash-collision guard test exercises this).
+type keyBuilder struct{ h hash.Hash }
+
+// newKey starts a key for one kind of cell ("run", "vax", "cluster", ...);
+// the kind and the memo epoch are the first framed fields.
+func newKey(kind string) *keyBuilder {
+	k := &keyBuilder{h: sha256.New()}
+	k.str("epoch", fmt.Sprint(memoEpoch))
+	k.str("kind", kind)
+	return k
+}
+
+func (k *keyBuilder) frame(label string, n int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(label)))
+	k.h.Write(buf[:])
+	k.h.Write([]byte(label))
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	k.h.Write(buf[:])
+}
+
+// str hashes a labelled string field.
+func (k *keyBuilder) str(label, s string) *keyBuilder {
+	k.frame(label, len(s))
+	k.h.Write([]byte(s))
+	return k
+}
+
+// num hashes a labelled integer field.
+func (k *keyBuilder) num(label string, n uint64) *keyBuilder {
+	k.frame(label, 8)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], n)
+	k.h.Write(buf[:])
+	return k
+}
+
+// words hashes a labelled word slice (assembled program images, traces).
+func (k *keyBuilder) words(label string, ws []isa.Word) *keyBuilder {
+	k.frame(label, 4*len(ws))
+	var buf [4]byte
+	for _, w := range ws {
+		binary.LittleEndian.PutUint32(buf[:], uint32(w))
+		k.h.Write(buf[:])
+	}
+	return k
+}
+
+// config hashes the full machine configuration. The value structs
+// (pipeline/icache/ecache configs) contain only scalar fields, so their
+// %+v rendering is stable; the bus is reduced to its timing parameters
+// (the counters and the multiprocessor arbiter hooks are run state, not
+// configuration).
+func (k *keyBuilder) config(cfg core.Config) *keyBuilder {
+	k.str("cfg.pipeline", fmt.Sprintf("%+v", cfg.Pipeline))
+	k.str("cfg.icache", fmt.Sprintf("%+v", cfg.Icache))
+	k.str("cfg.ecache", fmt.Sprintf("%+v", cfg.Ecache))
+	k.str("cfg.bus", fmt.Sprintf("%d/%d", cfg.Bus.Latency, cfg.Bus.PerWord))
+	k.str("cfg.nofpu", fmt.Sprint(cfg.NoFPU))
+	return k
+}
+
+// sum finalizes the key.
+func (k *keyBuilder) sum() string {
+	return hex.EncodeToString(k.h.Sum(nil))
+}

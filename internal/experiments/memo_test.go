@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/reorg"
+	"repro/internal/tinyc"
+)
+
+// TestEngineRootCauseNotMaskedByCancellation is the regression test for the
+// error-attribution bug: when a cell fails, the engine cancels the rest; a
+// lower-index cell that was still running then returns context.Canceled. The
+// reported error must be the failing cell's (the root cause), not the
+// victim's cancellation — which used to win because victim errors arrive
+// wrapped with the cell ID and the old sentinel-equality check did not see
+// through the wrapping.
+func TestEngineRootCauseNotMaskedByCancellation(t *testing.T) {
+	e := &Engine{Workers: 2}
+	cells := []Cell{
+		// Slow low-index cell: blocks until the engine cancels it, then
+		// reports that cancellation (wrapped with its ID by runCell).
+		{ID: "victim", Fn: func(ctx context.Context) error {
+			<-ctx.Done()
+			return ctx.Err()
+		}},
+		// Fast high-index cell: the real failure.
+		{ID: "culprit", Fn: func(ctx context.Context) error {
+			return errors.New("boom")
+		}},
+	}
+	err := e.Run(context.Background(), cells)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want the culprit's boom", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v: victim's cancellation masked the root cause", err)
+	}
+}
+
+// TestRunMachineFaultIsNotATimeout is the regression test for the fault
+// handling bug: a machine whose PC runs off the end of its image must be
+// reported as a fault immediately, not simulated to the 50M-cycle budget and
+// then reported as a bogus "no halt" timeout.
+func TestRunMachineFaultIsNotATimeout(t *testing.T) {
+	// No halt: execution falls off the end of the image.
+	const runaway = `
+main:	add r1, r0, r0
+	nop
+`
+	start := time.Now()
+	_, err := runAsm(context.Background(), runaway, defaultConfig())
+	if err == nil {
+		t.Fatal("runaway program reported success")
+	}
+	if !strings.Contains(err.Error(), "outside the loaded image") {
+		t.Fatalf("err = %v, want a runaway-PC fault", err)
+	}
+	if strings.Contains(err.Error(), "no halt within") {
+		t.Fatalf("err = %v: fault surfaced as the cycle-budget timeout", err)
+	}
+	// The fault fires within one chunk of the image end, not after the full
+	// 50M-cycle budget (generous wall-clock bound; the real signal is above).
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("fault took %v, looks like the full budget was burned", d)
+	}
+}
+
+// TestEngineSkippedCellsAreStamped is the regression test for the timing
+// report bug: cells claimed after a cancellation never run, but their timing
+// rows must still carry the cell's identity and a skipped marker instead of
+// anonymous zero values.
+func TestEngineSkippedCellsAreStamped(t *testing.T) {
+	e := &Engine{Workers: 1, Record: true}
+	cells := []Cell{
+		{ID: "fail", Fn: func(context.Context) error { return errors.New("boom") }},
+		{ID: "after-0", Fn: func(context.Context) error { return nil }},
+		{ID: "after-1", Fn: func(context.Context) error { return nil }},
+	}
+	err := e.Run(context.Background(), cells)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	timings := e.Timings()
+	if len(timings) != len(cells) {
+		t.Fatalf("recorded %d timings, want %d", len(timings), len(cells))
+	}
+	skipped := 0
+	for _, ct := range timings {
+		if ct.ID == "" {
+			t.Fatalf("anonymous timing row: %+v", ct)
+		}
+		if ct.Skipped {
+			skipped++
+			if !strings.HasPrefix(ct.Err, "skipped:") {
+				t.Fatalf("skipped cell %s has err %q, want skipped: prefix", ct.ID, ct.Err)
+			}
+		}
+	}
+	// Workers=1 guarantees the two cells after the failure are claimed only
+	// once the run is cancelled.
+	if skipped != 2 {
+		t.Fatalf("skipped = %d timing rows, want 2", skipped)
+	}
+}
+
+// TestMemoColdThenHotDeterministic is the memoization acceptance test: the
+// full suite rendered with a cold on-disk cache and again (fresh engine,
+// fresh store, same directory) with the cache hot must produce byte-identical
+// tables and identical simulated-cycle totals, with a nonzero hit count on
+// the hot pass.
+func TestMemoColdThenHotDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite twice")
+	}
+	defer Configure(0, 0, false)
+	dir := t.TempDir()
+
+	render := func() (string, *Engine) {
+		e := Configure(0, 0, false)
+		store, err := NewMemoStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Store = store
+		tables, err := All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, tb := range tables {
+			sb.WriteString(tb.String())
+			sb.WriteString("\n")
+		}
+		return sb.String(), e
+	}
+
+	cold, coldEng := render()
+	hot, hotEng := render()
+	if cold != hot {
+		t.Fatalf("tables differ between cold and hot cache:\n--- cold ---\n%s\n--- hot ---\n%s", cold, hot)
+	}
+	if hotEng.MemoHits() == 0 {
+		t.Fatal("hot pass recorded zero memo hits")
+	}
+	if coldEng.Cycles() != hotEng.Cycles() {
+		t.Fatalf("total simulated cycles differ: cold %d, hot %d", coldEng.Cycles(), hotEng.Cycles())
+	}
+}
+
+// TestMemoKeysCoverTheClosure checks that every input in a cell's closure
+// changes its key: two cells may share a key only when their full input
+// closures are identical.
+func TestMemoKeysCoverTheClosure(t *testing.T) {
+	b := tinyc.Benchmarks()[0]
+	base := defaultConfig()
+	seen := map[string]string{}
+	add := func(name, key string) {
+		if prev, ok := seen[key]; ok {
+			t.Fatalf("key collision: %s and %s hash identically", prev, name)
+		}
+		seen[key] = name
+	}
+	mustKey := func(name, kind string, bench tinyc.Benchmark, scheme reorg.Scheme, cfg core.Config) {
+		k, err := benchKey(kind, bench, scheme, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		add(name, k)
+	}
+	mustKey("run/default", "run", b, reorg.Default(), base)
+	mustKey("profiled/default", "run-profiled", b, reorg.Default(), base)
+	mustKey("run/1-slot", "run", b, reorg.Scheme{Slots: 1, Squash: reorg.SquashOptional}, base)
+
+	// Config changes change the key.
+	nofpu := base
+	nofpu.NoFPU = true
+	mustKey("run/nofpu", "run", b, reorg.Default(), nofpu)
+	flipped := base
+	flipped.Icache.Predecode = !flipped.Icache.Predecode
+	mustKey("run/predecode-flipped", "run", b, reorg.Default(), flipped)
+
+	// Different benchmarks never share a key.
+	mustKey("run/other-bench", "run", tinyc.Benchmarks()[1], reorg.Default(), base)
+
+	// Non-bench kinds: the vax closure is (source, instruction bound).
+	add("vax/a", newKey("vax").str("source", "x").num("max-instr", 100).sum())
+	add("vax/b", newKey("vax").str("source", "y").num("max-instr", 100).sum())
+	add("vax/c", newKey("vax").str("source", "x").num("max-instr", 200).sum())
+
+	// Framing: adjacent fields must not alias under reslicing.
+	add("frame/a", newKey("t").str("p", "ab").str("q", "c").sum())
+	add("frame/b", newKey("t").str("p", "a").str("q", "bc").sum())
+}
+
+// TestMemoStoreDiskRoundTrip checks the on-disk format: a fresh store over
+// the same directory replays an entry recorded by another store, and entries
+// with a mismatched schema or key are ignored.
+func TestMemoStoreDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewMemoStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.put(memoEntry{Schema: memoSchema, Key: "k1", CellID: "c", Cycles: 42, Data: []byte(`{"v":1}`)})
+
+	s2, err := NewMemoStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s2.get("k1")
+	if !ok {
+		t.Fatal("fresh store missed an entry recorded on disk")
+	}
+	if e.Cycles != 42 || string(e.Data) != `{"v":1}` {
+		t.Fatalf("entry = %+v, want cycles 42 and recorded data", e)
+	}
+	if s2.Hits() != 1 || s2.Misses() != 0 {
+		t.Fatalf("hits/misses = %d/%d, want 1/0", s2.Hits(), s2.Misses())
+	}
+	if _, ok := s2.get("absent"); ok {
+		t.Fatal("hit for a key never recorded")
+	}
+	if s2.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", s2.HitRate())
+	}
+}
+
+// TestEngineReplaySkipsCellBody checks the engine-level contract directly:
+// a memoized cell's Fn runs once; the second engine replays from the store
+// without running Fn, and the replay restores both the result slot and the
+// recorded cycle attribution.
+func TestEngineReplaySkipsCellBody(t *testing.T) {
+	store, err := NewMemoStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs atomic.Int32
+	cell := func(out *int) Cell {
+		return Cell{
+			ID: "memoized",
+			Fn: func(ctx context.Context) error {
+				runs.Add(1)
+				DefaultEngine().AddCyclesCtx(ctx, 7)
+				*out = 99
+				return nil
+			},
+			Memo: &CellMemo{
+				Key:  func() (string, error) { return newKey("test").str("id", "memoized").sum(), nil },
+				Save: func() (any, error) { return out, nil },
+				Load: func(data []byte) error { *out = 99; return nil },
+			},
+		}
+	}
+	defer Configure(0, 0, false)
+	for pass := 0; pass < 2; pass++ {
+		e := Configure(0, 0, false)
+		e.Store = store
+		var got int
+		if err := e.Run(context.Background(), []Cell{cell(&got)}); err != nil {
+			t.Fatal(err)
+		}
+		if got != 99 {
+			t.Fatalf("pass %d: result = %d, want 99", pass, got)
+		}
+		if e.Cycles() != 7 {
+			t.Fatalf("pass %d: cycles = %d, want 7 (replay must restore attribution)", pass, e.Cycles())
+		}
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("cell body ran %d times, want 1 (second pass must replay)", runs.Load())
+	}
+}

@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/asm"
 	"repro/internal/core"
+	"repro/internal/isa"
 	"repro/internal/reorg"
 	"repro/internal/tinyc"
 	"repro/internal/trace"
@@ -31,23 +34,31 @@ func defaultConfig() core.Config {
 
 // runMachine runs m until it halts or runLimit cycles pass, in runChunk
 // slices so cancellation is observed, accounting simulated cycles to the
-// default engine.
+// default engine (attributed to the running cell via ctx). Only the
+// resumable core.ErrNotHalted sentinel continues the loop; a genuine
+// machine fault (runaway PC, and whatever fault classes the core grows)
+// returns immediately with its own message instead of burning the rest of
+// the 50M-cycle budget and surfacing as a bogus timeout.
 func runMachine(ctx context.Context, m *core.Machine) error {
 	e := DefaultEngine()
 	var total uint64
 	for {
 		if err := ctx.Err(); err != nil {
-			e.AddCycles(total)
+			e.AddCyclesCtx(ctx, total)
 			return err
 		}
 		n, err := m.Run(runChunk)
 		total += n
 		if err == nil {
-			e.AddCycles(total)
+			e.AddCyclesCtx(ctx, total)
 			return nil
 		}
+		if !errors.Is(err, core.ErrNotHalted) {
+			e.AddCyclesCtx(ctx, total)
+			return fmt.Errorf("%w (%d cycles simulated)", err, total)
+		}
 		if total >= runLimit {
-			e.AddCycles(total)
+			e.AddCyclesCtx(ctx, total)
 			return fmt.Errorf("no halt within %d cycles (pc %#x)", runLimit, m.CPU.PC())
 		}
 	}
@@ -67,7 +78,7 @@ func runVAX(ctx context.Context, vm *vaxlike.Machine, maxInstr uint64) error {
 		}
 		err := vm.Run(limit)
 		if err == nil {
-			DefaultEngine().AddCycles(vm.Stats.Cycles)
+			DefaultEngine().AddCyclesCtx(ctx, vm.Stats.Cycles)
 			return nil
 		}
 		// A real step error leaves the machine short of the limit; only a
@@ -152,6 +163,202 @@ func runProfiled(ctx context.Context, b tinyc.Benchmark, scheme reorg.Scheme, cf
 	return run(ctx, b, scheme, prof, cfg)
 }
 
+// ---------------------------------------------------------------------------
+// Serializable cell results and memoizable cell constructors. Experiments
+// route machine results through these structs instead of holding live
+// *core.Machine handles, so a content-addressed replay is byte-identical
+// to a live run (the structs carry everything any experiment reads).
+
+// RunResult is the serializable outcome of one benchmark (or assembly
+// kernel) run on the MIPS-X machine.
+type RunResult struct {
+	Stats core.Stats `json:"stats"`
+	// CoprocOps counts operations dispatched per coprocessor slot (E5's
+	// transfer accounting).
+	CoprocOps [isa.NumCoprocessors]uint64 `json:"coproc_ops"`
+	// Output is the program's console output (already checked against the
+	// benchmark's expectation during the live run).
+	Output string `json:"output"`
+	// Regs is the architected register file at halt and PSW the final
+	// status word (E8 reads handler counters and the sticky-overflow bit
+	// out of them).
+	Regs [32]isa.Word `json:"regs"`
+	PSW  isa.PSW      `json:"psw"`
+	// SquashEvents counts squash-FSM triggers by cause (E8's shared-FSM
+	// accounting).
+	SquashEvents [2]uint64 `json:"squash_events"`
+}
+
+// machineResult snapshots everything the experiments read from a finished
+// machine.
+func machineResult(m *core.Machine) RunResult {
+	r := RunResult{
+		Stats:        m.Stats(),
+		CoprocOps:    m.CPU.Coprocs.Ops,
+		Output:       m.Output(),
+		PSW:          m.CPU.PSW(),
+		SquashEvents: m.CPU.Squash.Events,
+	}
+	for i := range r.Regs {
+		r.Regs[i] = m.CPU.Reg(isa.Reg(i))
+	}
+	return r
+}
+
+// VAXResult is the serializable outcome of one run on the CISC reference
+// machine.
+type VAXResult struct {
+	Stats   vaxlike.Stats `json:"stats"`
+	CodeLen int           `json:"code_len"`
+}
+
+// benchKey hashes the full input closure of a tinyc benchmark run: the
+// assembled program words (covering source, compiler and reorganizer
+// output), the scheme parameters, and the machine configuration exactly as
+// run() applies it. A profiled run's profile is itself a deterministic
+// function of this closure (it is measured by simulating the unprofiled
+// image under the same config), so the closure needs no separate profile
+// hash — the kind string distinguishes the two pipelines.
+func benchKey(kind string, b tinyc.Benchmark, scheme reorg.Scheme, cfg core.Config) (string, error) {
+	im, err := buildCached(b, scheme)
+	if err != nil {
+		return "", err
+	}
+	k := newKey(kind)
+	k.str("bench", b.Name)
+	k.str("source", b.Source)
+	k.str("scheme", scheme.String())
+	k.num("image-base", uint64(im.Base)).words("image", im.Words)
+	cfg.Pipeline.BranchSlots = scheme.Slots // run() forces this before simulating
+	k.config(cfg)
+	return k.sum(), nil
+}
+
+// benchCell builds a memoizable cell that runs benchmark b under scheme on
+// cfg (with profile feedback when profiled) and deposits the result in
+// *out.
+func benchCell(id string, b tinyc.Benchmark, scheme reorg.Scheme, profiled bool, cfg core.Config, out *RunResult) Cell {
+	kind := "run"
+	if profiled {
+		kind = "run-profiled"
+	}
+	return Cell{
+		ID: id,
+		Fn: func(ctx context.Context) error {
+			var m *core.Machine
+			var err error
+			if profiled {
+				m, err = runProfiled(ctx, b, scheme, cfg)
+			} else {
+				m, err = run(ctx, b, scheme, nil, cfg)
+			}
+			if err != nil {
+				return err
+			}
+			*out = machineResult(m)
+			return nil
+		},
+		Memo: &CellMemo{
+			Key:  func() (string, error) { return benchKey(kind, b, scheme, cfg) },
+			Save: func() (any, error) { return out, nil },
+			Load: func(data []byte) error { return json.Unmarshal(data, out) },
+		},
+	}
+}
+
+// asmCell builds a memoizable cell that assembles and runs hand-written
+// (already scheduled) assembly on cfg.
+func asmCell(id, src string, cfg core.Config, out *RunResult) Cell {
+	return Cell{
+		ID: id,
+		Fn: func(ctx context.Context) error {
+			m, err := runAsm(ctx, src, cfg)
+			if err != nil {
+				return err
+			}
+			*out = machineResult(m)
+			return nil
+		},
+		Memo: &CellMemo{
+			Key: func() (string, error) {
+				im, err := asm.AssembleSource(src, 0)
+				if err != nil {
+					return "", err
+				}
+				k := newKey("asm")
+				k.str("source", src)
+				k.num("image-base", uint64(im.Base)).words("image", im.Words)
+				k.config(cfg)
+				return k.sum(), nil
+			},
+			Save: func() (any, error) { return out, nil },
+			Load: func(data []byte) error { return json.Unmarshal(data, out) },
+		},
+	}
+}
+
+// vaxCell builds a memoizable cell that compiles src for the CISC
+// reference machine and runs it to completion (bounded by maxInstr).
+func vaxCell(id, src string, maxInstr uint64, out *VAXResult) Cell {
+	return Cell{
+		ID: id,
+		Fn: func(ctx context.Context) error {
+			vm, err := tinyc.BuildVAX(src)
+			if err != nil {
+				return err
+			}
+			if err := runVAX(ctx, vm, maxInstr); err != nil {
+				return err
+			}
+			*out = VAXResult{Stats: vm.Stats, CodeLen: len(vm.Code)}
+			return nil
+		},
+		Memo: &CellMemo{
+			Key: func() (string, error) {
+				// The VAX compiler is deterministic over the source, so the
+				// source plus the instruction bound is the whole closure.
+				k := newKey("vax")
+				k.str("source", src)
+				k.num("max-instr", maxInstr)
+				return k.sum(), nil
+			},
+			Save: func() (any, error) { return out, nil },
+			Load: func(data []byte) error { return json.Unmarshal(data, out) },
+		},
+	}
+}
+
+// branchTraceCell builds a memoizable cell that runs benchmark b and
+// records its dynamic branch outcomes (E4's predictor inputs).
+func branchTraceCell(id string, b tinyc.Benchmark, scheme reorg.Scheme, cfg core.Config, out *[]trace.BranchEvent) Cell {
+	return Cell{
+		ID: id,
+		Fn: func(ctx context.Context) error {
+			im, err := buildCached(b, scheme)
+			if err != nil {
+				return err
+			}
+			c := cfg
+			c.Pipeline.BranchSlots = scheme.Slots
+			m := core.New(c, nil)
+			m.Load(im)
+			var rec trace.Recorder
+			rec.KeepInstrs = 1
+			rec.Attach(m.CPU)
+			if err := runMachine(ctx, m); err != nil {
+				return err
+			}
+			*out = rec.Branches
+			return nil
+		},
+		Memo: &CellMemo{
+			Key:  func() (string, error) { return benchKey("branch-trace", b, scheme, cfg) },
+			Save: func() (any, error) { return out, nil },
+			Load: func(data []byte) error { return json.Unmarshal(data, out) },
+		},
+	}
+}
+
 // suiteStats aggregates pipeline stats over a set of benchmarks.
 type suiteStats struct {
 	Branches, Wasted, SlotNops      uint64
@@ -161,8 +368,8 @@ type suiteStats struct {
 	IcacheStalls, DataStalls        uint64
 }
 
-func (s *suiteStats) add(m *core.Machine) {
-	p := m.CPU.Stats
+func (s *suiteStats) add(r *RunResult) {
+	p := r.Stats.Pipeline
 	s.Branches += p.Branches
 	s.Wasted += p.BranchWasted
 	s.SlotNops += p.BranchSlotNops
@@ -203,25 +410,20 @@ func (s *suiteStats) cpi() float64 {
 	return float64(s.Cycles) / float64(s.issued())
 }
 
-// runSuite runs the benchmarks under one scheme, one engine cell per
-// benchmark, and aggregates in submission order after the fan-in.
+// runSuite runs the benchmarks under one scheme, one memoizable engine
+// cell per benchmark, and aggregates in submission order after the fan-in.
 func runSuite(ctx context.Context, benches []tinyc.Benchmark, scheme reorg.Scheme, profiled bool, cfg core.Config) (suiteStats, error) {
-	ms := make([]*core.Machine, len(benches))
-	err := DefaultEngine().Map(ctx, "suite/"+scheme.String(), len(benches), func(ctx context.Context, i int) error {
-		var err error
-		if profiled {
-			ms[i], err = runProfiled(ctx, benches[i], scheme, cfg)
-		} else {
-			ms[i], err = run(ctx, benches[i], scheme, nil, cfg)
-		}
-		return err
-	})
+	rs := make([]RunResult, len(benches))
+	cells := make([]Cell, len(benches))
+	for i, b := range benches {
+		cells[i] = benchCell(fmt.Sprintf("suite/%s/%s", scheme, b.Name), b, scheme, profiled, cfg, &rs[i])
+	}
 	var agg suiteStats
-	if err != nil {
+	if err := DefaultEngine().Run(ctx, cells); err != nil {
 		return agg, err
 	}
-	for _, m := range ms {
-		agg.add(m)
+	for i := range rs {
+		agg.add(&rs[i])
 	}
 	return agg, nil
 }
