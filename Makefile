@@ -29,13 +29,15 @@ fuzz:
 	$(GO) test ./internal/lint -fuzz=FuzzCompileReorgLint -fuzztime=60s
 
 # Bench-regression tracking: verify every experiment table against the
-# recorded golden baseline (exit 1 on drift) twice over one cache directory
-# — cold (recording) then hot (replaying) — so an unsound memo key surfaces
-# as table drift; the hot pass's report is BENCH_pr.json, then run the Go
-# benchmarks once. CI uploads BENCH_pr.json.
+# recorded golden baseline (exit 1 on drift) three times — once serially
+# with no cache (every cell live at -parallel 1), then cold (recording) and
+# hot (replaying) over one cache directory, so scheduling nondeterminism and
+# unsound memo keys both surface as table drift; the hot pass's report is
+# BENCH_pr.json, then run the Go benchmarks once. CI uploads BENCH_pr.json.
 BENCHCACHE ?= .benchcache
 bench:
 	rm -rf $(BENCHCACHE)
+	$(GO) run ./cmd/mipsx-bench -parallel 1 -check BENCH_baseline.json > /dev/null
 	$(GO) run ./cmd/mipsx-bench -check BENCH_baseline.json -cache $(BENCHCACHE) -json > BENCH_cold.json
 	$(GO) run ./cmd/mipsx-bench -check BENCH_baseline.json -cache $(BENCHCACHE) -json > BENCH_pr.json
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .

@@ -115,6 +115,13 @@ type Engine struct {
 	started   atomic.Int64  // first-submission wall clock (UnixNano), for cells/sec
 	lastProg  atomic.Int64  // last progress line's wall clock (UnixNano)
 
+	// Memo lookup outcomes are engine-owned (not read off the store): a hit
+	// is a cell replayed from the store, a miss a memoizable cell that ran
+	// live — including store-less runs, so a report's hit/miss/rate fields
+	// are consistent with each other in every configuration.
+	memoHits   atomic.Uint64
+	memoMisses atomic.Uint64
+
 	mu      sync.Mutex
 	timings []CellTiming
 }
@@ -122,20 +129,19 @@ type Engine struct {
 // progressEvery throttles progress lines.
 const progressEvery = 250 * time.Millisecond
 
-// MemoHits and MemoMisses report the store's lookup outcomes (0 without a
-// store).
-func (e *Engine) MemoHits() uint64 {
-	if e.Store == nil {
-		return 0
-	}
-	return e.Store.Hits()
-}
+// MemoHits and MemoMisses report memoizable-cell outcomes: replays from
+// the store vs live runs (a store-less engine counts every memoizable cell
+// as a miss — it had no chance to replay).
+func (e *Engine) MemoHits() uint64   { return e.memoHits.Load() }
+func (e *Engine) MemoMisses() uint64 { return e.memoMisses.Load() }
 
-func (e *Engine) MemoMisses() uint64 {
-	if e.Store == nil {
+// MemoHitRate is hits over all memoizable-cell lookups (0 when none ran).
+func (e *Engine) MemoHitRate() float64 {
+	h, m := e.memoHits.Load(), e.memoMisses.Load()
+	if h+m == 0 {
 		return 0
 	}
-	return e.Store.Misses()
+	return float64(h) / float64(h+m)
 }
 
 // FlushProgress forces out a final progress line (end-of-run summary),
@@ -163,7 +169,7 @@ func (e *Engine) reportProgress(final bool) {
 	}
 	if e.Store != nil {
 		fmt.Fprintf(e.Progress, "cells %d/%d  memo hits %d (%.0f%%)  %.0f cells/s\n",
-			done, total, e.Store.Hits(), 100*e.Store.HitRate(), rate)
+			done, total, e.MemoHits(), 100*e.MemoHitRate(), rate)
 	} else {
 		fmt.Fprintf(e.Progress, "cells %d/%d  %.0f cells/s\n", done, total, rate)
 	}
@@ -259,8 +265,9 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) error {
 // memoizable and its key hits, a live run otherwise (recording the result
 // on success).
 func (e *Engine) runOne(ctx context.Context, c Cell) (replayed bool, err error) {
+	memoizable := c.Memo != nil && c.Memo.Key != nil
 	var key string
-	if c.Memo != nil && e.Store != nil && c.Memo.Key != nil {
+	if memoizable && e.Store != nil {
 		k, kerr := c.Memo.Key()
 		if kerr == nil {
 			key = k
@@ -269,6 +276,7 @@ func (e *Engine) runOne(ctx context.Context, c Cell) (replayed bool, err error) 
 					// Replay: account the recorded simulated cycles exactly
 					// as the live run did, to the engine and to any
 					// enclosing cell's meter.
+					e.memoHits.Add(1)
 					e.cycles.Add(entry.Cycles)
 					meterFrom(ctx).add(entry.Cycles)
 					return true, nil
@@ -279,6 +287,9 @@ func (e *Engine) runOne(ctx context.Context, c Cell) (replayed bool, err error) 
 		}
 		// A key error means the input closure itself could not be built
 		// (e.g. compilation failed); the live run surfaces that error.
+	}
+	if memoizable {
+		e.memoMisses.Add(1)
 	}
 
 	cctx := ctx
@@ -367,6 +378,8 @@ func (e *Engine) ResetMetrics() {
 	e.cycles.Store(0)
 	e.submitted.Store(0)
 	e.started.Store(0)
+	e.memoHits.Store(0)
+	e.memoMisses.Store(0)
 	e.mu.Lock()
 	e.timings = nil
 	e.mu.Unlock()

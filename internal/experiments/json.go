@@ -19,12 +19,12 @@ const BenchSchema = "mipsx-bench/v1"
 
 // ExpResult is one experiment's outcome.
 type ExpResult struct {
-	ID     string   `json:"id"`
-	Title  string   `json:"title"`
-	WallMS float64  `json:"wall_ms"`
-	Header []string `json:"header"`
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	WallMS float64    `json:"wall_ms"`
+	Header []string   `json:"header"`
 	Rows   [][]string `json:"rows"`
-	Notes  []string `json:"notes,omitempty"`
+	Notes  []string   `json:"notes,omitempty"`
 	// Text is the rendered table exactly as the CLI prints it — the unit of
 	// the golden drift check.
 	Text string `json:"text"`
@@ -67,8 +67,10 @@ func NewBenchDoc(tables []*Table, perExp []time.Duration, wall time.Duration, pa
 		MemoMisses:           e.MemoMisses(),
 		CellTimings:          e.Timings(),
 	}
-	if e.Store != nil {
-		doc.MemoHitRate = e.Store.HitRate()
+	// The rate is derived from the document's own counters — never from the
+	// store — so store-less runs report hits/misses/rate that agree.
+	if lookups := doc.MemoHits + doc.MemoMisses; lookups > 0 {
+		doc.MemoHitRate = float64(doc.MemoHits) / float64(lookups)
 	}
 	if wall > 0 {
 		doc.CellsPerSec = float64(e.Cells()) / wall.Seconds()

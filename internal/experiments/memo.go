@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -33,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/trace"
 )
 
 // memoSchema identifies the on-disk entry format.
@@ -197,6 +199,30 @@ func (k *keyBuilder) words(label string, ws []isa.Word) *keyBuilder {
 		binary.LittleEndian.PutUint32(buf[:], uint32(w))
 		k.h.Write(buf[:])
 	}
+	return k
+}
+
+// flt hashes a labelled float field, bit-exact (the probabilities and
+// biases in a SynthConfig are part of a trace's identity).
+func (k *keyBuilder) flt(label string, f float64) *keyBuilder {
+	return k.num(label, math.Float64bits(f))
+}
+
+// synth hashes a synthetic trace's full input closure: every SynthConfig
+// field (each one steers the generator or its RNG) plus the reference
+// count. Generator-semantics changes are covered by memoEpoch, like every
+// other key.
+func (k *keyBuilder) synth(label string, cfg trace.SynthConfig, refs int) *keyBuilder {
+	k.num(label+".codewords", uint64(cfg.CodeWords))
+	k.num(label+".funcs", uint64(cfg.Funcs))
+	k.num(label+".avgrun", uint64(cfg.AvgRun))
+	k.num(label+".avgloopiters", uint64(cfg.AvgLoopIters))
+	k.flt(label+".callprob", cfg.CallProb)
+	k.num(label+".hotfuncs", uint64(cfg.HotFuncs))
+	k.flt(label+".hotbias", cfg.HotBias)
+	k.num(label+".maxdepth", uint64(cfg.MaxDepth))
+	k.num(label+".seed", uint64(cfg.Seed))
+	k.num(label+".refs", uint64(refs))
 	return k
 }
 

@@ -154,7 +154,7 @@ func runProfiled(ctx context.Context, b tinyc.Benchmark, scheme reorg.Scheme, cf
 	m1 := core.New(c1, nil)
 	m1.Load(im)
 	var rec trace.Recorder
-	rec.KeepInstrs = 1 // only branches matter for the profile
+	rec.DiscardInstrs = true // only branches matter for the profile
 	rec.Attach(m1.CPU)
 	if err := runMachine(ctx, m1); err != nil {
 		return nil, err
@@ -343,7 +343,7 @@ func branchTraceCell(id string, b tinyc.Benchmark, scheme reorg.Scheme, cfg core
 			m := core.New(c, nil)
 			m.Load(im)
 			var rec trace.Recorder
-			rec.KeepInstrs = 1
+			rec.DiscardInstrs = true // only the branch stream feeds E4
 			rec.Attach(m.CPU)
 			if err := runMachine(ctx, m); err != nil {
 				return err

@@ -1,0 +1,354 @@
+package experiments
+
+// Content-addressed trace artifacts and the memoized cells of the
+// trace-driven experiments (E2, E4, E6, E10). A synthesized trace is a
+// deterministic function of its SynthConfig and reference count — for
+// composites, of the member configs and the interleave quantum — so a
+// trace's identity is the framed hash of that closure, and the stream
+// itself (delta/varint-encoded, see internal/trace/artifact.go) plus its
+// derived statistics are stored under that key in the engine's MemoStore.
+// The sweeps downstream of a trace key on the trace's identity plus their
+// cache/scheme parameters, so a hot run replays every trace-driven cell
+// without synthesizing a single reference.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/ecache"
+	"repro/internal/icache"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// synthSpec is one synthesized trace's input closure: the generator config
+// and the reference count.
+type synthSpec struct {
+	Cfg  trace.SynthConfig
+	Refs int
+}
+
+func (sp synthSpec) key() string {
+	return newKey("synth-trace").synth("synth", sp.Cfg, sp.Refs).sum()
+}
+
+// traceSpec is the input closure of a possibly-composite trace: one member
+// and quantum 0 for a plain synthesized stream, several members for a
+// multiprogrammed interleave (the Smith-survey methodology E6/E10 use).
+type traceSpec struct {
+	Members []synthSpec
+	Quantum int
+}
+
+func synthTrace(cfg trace.SynthConfig, refs int) traceSpec {
+	return traceSpec{Members: []synthSpec{{Cfg: cfg, Refs: refs}}}
+}
+
+func (ts traceSpec) composite() bool { return len(ts.Members) > 1 || ts.Quantum != 0 }
+
+// key is the trace's content identity. A composite folds the quantum and
+// every member's full closure; a single member's identity is its own, so
+// the same stream reached directly or as a one-member "composite" never
+// stores twice.
+func (ts traceSpec) key() string {
+	if !ts.composite() {
+		return ts.Members[0].key()
+	}
+	k := newKey("interleave-trace")
+	k.num("quantum", uint64(ts.Quantum))
+	k.num("members", uint64(len(ts.Members)))
+	for i, m := range ts.Members {
+		k.synth(fmt.Sprintf("member[%d]", i), m.Cfg, m.Refs)
+	}
+	return k.sum()
+}
+
+// traceArtifact is the stored form of a trace: the exact address stream,
+// compactly encoded, plus its derived statistics.
+type traceArtifact struct {
+	Encoded []byte      `json:"encoded"`
+	Stats   trace.Stats `json:"stats"`
+}
+
+// traceMemo is the CellMemo contract shared by every trace cell: encode on
+// save, decode + sanity-check on load.
+func traceMemo(key string, out *[]isa.Word) *CellMemo {
+	return &CellMemo{
+		Key: func() (string, error) { return key, nil },
+		Save: func() (any, error) {
+			return traceArtifact{Encoded: trace.EncodeAddrs(*out), Stats: trace.ComputeStats(*out)}, nil
+		},
+		Load: func(data []byte) error {
+			var a traceArtifact
+			if err := json.Unmarshal(data, &a); err != nil {
+				return err
+			}
+			tr, err := trace.DecodeAddrs(a.Encoded)
+			if err != nil {
+				return err
+			}
+			if len(tr) != a.Stats.Refs {
+				return fmt.Errorf("trace artifact decodes to %d refs, recorded %d", len(tr), a.Stats.Refs)
+			}
+			*out = tr
+			return nil
+		},
+	}
+}
+
+// cell builds the memoized cell that materializes the trace into *out. A
+// composite fans out one nested memoized cell per member, so members are
+// first-class artifacts shared with any experiment using them directly.
+func (ts traceSpec) cell(id string, out *[]isa.Word) Cell {
+	if !ts.composite() {
+		sp := ts.Members[0]
+		return Cell{
+			ID: id,
+			Fn: func(context.Context) error {
+				*out = trace.NewSynthesizer(sp.Cfg).Generate(sp.Refs)
+				return nil
+			},
+			Memo: traceMemo(sp.key(), out),
+		}
+	}
+	return Cell{
+		ID: id,
+		Fn: func(ctx context.Context) error {
+			parts := make([][]isa.Word, len(ts.Members))
+			cells := make([]Cell, len(ts.Members))
+			for i := range ts.Members {
+				cells[i] = synthTrace(ts.Members[i].Cfg, ts.Members[i].Refs).
+					cell(fmt.Sprintf("%s/member[%d]", id, i), &parts[i])
+			}
+			if err := DefaultEngine().Run(ctx, cells); err != nil {
+				return err
+			}
+			*out = trace.Interleave(parts, ts.Quantum)
+			return nil
+		},
+		Memo: traceMemo(ts.key(), out),
+	}
+}
+
+// materialize returns a lazy accessor that runs the trace cell on demand —
+// for derived cells that own their trace exclusively, so a replay of the
+// derived cell skips materialization entirely.
+func (ts traceSpec) materialize(id string) func(ctx context.Context) ([]isa.Word, error) {
+	return func(ctx context.Context) ([]isa.Word, error) {
+		var tr []isa.Word
+		if err := DefaultEngine().Run(ctx, []Cell{ts.cell(id, &tr)}); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	}
+}
+
+// shared wraps an already-materialized trace (an earlier cell stage's
+// output) as the accessor derived cells take.
+func shared(tr *[]isa.Word) func(ctx context.Context) ([]isa.Word, error) {
+	return func(context.Context) ([]isa.Word, error) { return *tr, nil }
+}
+
+// ---------------------------------------------------------------------------
+// Derived sweeps: memoized cells keyed on (trace identity × parameters).
+
+// fetchCost is the serializable result of an Icache sweep over a trace.
+type fetchCost struct {
+	Miss   float64 `json:"miss"`
+	Cycles float64 `json:"cycles"`
+}
+
+// icacheCostCell sweeps a trace through an Icache organization (E2's
+// design grid, E6's large-program fetch stalls — identical closures hash
+// identically, so the two experiments share cells).
+func icacheCostCell(id string, spec traceSpec, cfg icache.Config,
+	src func(ctx context.Context) ([]isa.Word, error), out *fetchCost) Cell {
+	return Cell{
+		ID: id,
+		Fn: func(ctx context.Context) error {
+			tr, err := src(ctx)
+			if err != nil {
+				return err
+			}
+			out.Miss, out.Cycles = icacheCost(cfg, tr)
+			return nil
+		},
+		Memo: &CellMemo{
+			Key: func() (string, error) {
+				k := newKey("icache-cost")
+				k.str("trace", spec.key())
+				k.str("cfg.icache", fmt.Sprintf("%+v", cfg))
+				return k.sum(), nil
+			},
+			Save: func() (any, error) { return out, nil },
+			Load: func(data []byte) error { return json.Unmarshal(data, out) },
+		},
+	}
+}
+
+// ecacheSweep is the serializable result of an Ecache sweep over a trace.
+type ecacheSweep struct {
+	MissRatio float64 `json:"miss_ratio"`
+	// StallPerRef is the Ecache stall cycles per access (E6's per-reference
+	// data-stall estimate).
+	StallPerRef float64 `json:"stall_per_ref"`
+	// BusPerKiloRef is bus words carried per 1000 references (E10's traffic
+	// column).
+	BusPerKiloRef float64 `json:"bus_per_kilo_ref"`
+}
+
+// ecacheSweepCell sweeps a trace through an Ecache configuration over the
+// default bus, optionally turning every fifth reference into a write (the
+// 20% write mix of the write-policy ablations). The write mix's shape is
+// generator semantics, covered by memoEpoch like the synthesizers'.
+func ecacheSweepCell(id string, spec traceSpec, cfg ecache.Config, writes bool,
+	src func(ctx context.Context) ([]isa.Word, error), out *ecacheSweep) Cell {
+	return Cell{
+		ID: id,
+		Fn: func(ctx context.Context) error {
+			tr, err := src(ctx)
+			if err != nil {
+				return err
+			}
+			m := mem.New()
+			bus := mem.DefaultBus()
+			e := ecache.New(cfg, m, bus)
+			for k, a := range tr {
+				if writes && k%5 == 0 {
+					e.Write(a, 1)
+				} else {
+					e.Read(a)
+				}
+			}
+			out.MissRatio = e.Stats.MissRatio()
+			out.StallPerRef = float64(e.Stats.StallCycles) / float64(e.Stats.Accesses())
+			out.BusPerKiloRef = 1000 * float64(bus.WordsCarried) / float64(len(tr))
+			return nil
+		},
+		Memo: &CellMemo{
+			Key: func() (string, error) {
+				bus := mem.DefaultBus()
+				k := newKey("ecache-sweep")
+				k.str("trace", spec.key())
+				k.str("cfg.ecache", fmt.Sprintf("%+v", cfg))
+				k.str("bus", fmt.Sprintf("%d/%d", bus.Latency, bus.PerWord))
+				k.num("writes", boolBit(writes))
+				return k.sum(), nil
+			},
+			Save: func() (any, error) { return out, nil },
+			Load: func(data []byte) error { return json.Unmarshal(data, out) },
+		},
+	}
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Branch-stream artifacts and predictor evaluation (E4).
+
+// branchArtifact is the stored form of a branch-event stream.
+type branchArtifact struct {
+	Encoded []byte `json:"encoded"`
+	Count   int    `json:"count"`
+}
+
+// synthBranchCell materializes the synthetic large-program branch stream as
+// a content-addressed artifact keyed on its generator parameters.
+func synthBranchCell(id string, n, sites int, seed int64, out *[]trace.BranchEvent) Cell {
+	return Cell{
+		ID: id,
+		Fn: func(context.Context) error {
+			*out = syntheticBranchStream(n, sites, seed)
+			return nil
+		},
+		Memo: &CellMemo{
+			Key: func() (string, error) {
+				k := newKey("synth-branches")
+				k.num("refs", uint64(n))
+				k.num("sites", uint64(sites))
+				k.num("seed", uint64(seed))
+				return k.sum(), nil
+			},
+			Save: func() (any, error) {
+				return branchArtifact{Encoded: trace.EncodeBranches(*out), Count: len(*out)}, nil
+			},
+			Load: func(data []byte) error {
+				var a branchArtifact
+				if err := json.Unmarshal(data, &a); err != nil {
+					return err
+				}
+				evs, err := trace.DecodeBranches(a.Encoded)
+				if err != nil {
+					return err
+				}
+				if len(evs) != a.Count {
+					return fmt.Errorf("branch artifact decodes to %d events, recorded %d", len(evs), a.Count)
+				}
+				*out = evs
+				return nil
+			},
+		},
+	}
+}
+
+// branchStreamDigest is a branch stream's content identity. E4's suite
+// stream is concatenated from per-benchmark capture cells, so its closure
+// is the union of theirs; hashing the stream content itself is both simpler
+// and exactly as sound.
+func branchStreamDigest(events []trace.BranchEvent) string {
+	k := newKey("branch-stream")
+	k.num("count", uint64(len(events)))
+	enc := trace.EncodeBranches(events)
+	k.str("events", string(enc))
+	return k.sum()
+}
+
+// predEval is the serializable outcome of one predictor over one stream.
+type predEval struct {
+	Acc float64 `json:"acc"`
+	// Hit is the branch-cache hit rate; meaningful only for cache rows.
+	Hit float64 `json:"hit,omitempty"`
+}
+
+// predictor rows: kind is "static", "profile" or "cache" (entries used for
+// "cache" only).
+func predictorCell(id, streamDigest, kind string, entries int,
+	events *[]trace.BranchEvent, out *predEval) Cell {
+	return Cell{
+		ID: id,
+		Fn: func(context.Context) error {
+			switch kind {
+			case "static":
+				out.Acc = bpred.Accuracy(bpred.Static{}, *events)
+			case "profile":
+				out.Acc = bpred.Accuracy(bpred.NewStaticProfile(*events), *events)
+			case "cache":
+				bc := bpred.NewBranchCache(entries)
+				out.Acc = bpred.Accuracy(bc, *events)
+				out.Hit = bc.HitRate()
+			default:
+				return fmt.Errorf("unknown predictor kind %q", kind)
+			}
+			return nil
+		},
+		Memo: &CellMemo{
+			Key: func() (string, error) {
+				k := newKey("bpred")
+				k.str("stream", streamDigest)
+				k.str("predictor", kind)
+				k.num("entries", uint64(entries))
+				return k.sum(), nil
+			},
+			Save: func() (any, error) { return out, nil },
+			Load: func(data []byte) error { return json.Unmarshal(data, out) },
+		},
+	}
+}

@@ -37,8 +37,21 @@ type BranchEvent struct {
 type Recorder struct {
 	Instrs   []isa.Word // retired instruction addresses, in order
 	Branches []BranchEvent
-	// KeepInstrs limits memory for long runs (0 = keep all).
+	// DiscardInstrs disables instruction-address capture entirely (branch
+	// events are still recorded). Callers that only need the branch stream
+	// — profile collection, E4's predictor traces — set this instead of
+	// abusing a tiny KeepInstrs bound, which would silently record a stale
+	// prefix.
+	DiscardInstrs bool
+	// KeepInstrs bounds the kept prefix of the instruction trace (0 = keep
+	// all). The bound is honest about being a prefix: once it is reached,
+	// further retired addresses are dropped and Truncated is set, so a
+	// consumer can tell a complete short run from a start-biased sample of
+	// a long one.
 	KeepInstrs int
+	// Truncated reports that at least one retired address was dropped
+	// because KeepInstrs was reached.
+	Truncated bool
 }
 
 // Attach installs the recorder's hooks on the CPU.
@@ -47,8 +60,12 @@ func (r *Recorder) Attach(cpu *pipeline.CPU) {
 		if squashed {
 			return
 		}
-		if r.KeepInstrs == 0 || len(r.Instrs) < r.KeepInstrs {
+		switch {
+		case r.DiscardInstrs:
+		case r.KeepInstrs == 0 || len(r.Instrs) < r.KeepInstrs:
 			r.Instrs = append(r.Instrs, pc)
+		default:
+			r.Truncated = true
 		}
 	}
 	cpu.BranchTrace = func(pc isa.Word, in isa.Instruction, taken bool) {
@@ -171,21 +188,38 @@ type Synthesizer struct {
 	hot   []int
 }
 
+// minFuncWords is the smallest function the layout will emit. Clamping to
+// it guarantees at least one valid function even for degenerate configs
+// (tiny CodeWords, huge Funcs), so Generate and pickCallee never face an
+// empty function table.
+const minFuncWords = 4
+
 // NewSynthesizer lays out the synthetic program.
 func NewSynthesizer(cfg SynthConfig) *Synthesizer {
 	if cfg.Funcs < 2 {
 		cfg.Funcs = 2
+	}
+	if cfg.CodeWords < minFuncWords {
+		cfg.CodeWords = minFuncWords
 	}
 	s := &Synthesizer{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 	avgSize := cfg.CodeWords / cfg.Funcs
 	base := isa.Word(0)
 	for f := 0; f < cfg.Funcs && int(base) < cfg.CodeWords; f++ {
 		size := avgSize/2 + s.rng.Intn(avgSize+1)
+		if size < minFuncWords {
+			size = minFuncWords
+		}
 		if int(base)+size > cfg.CodeWords {
 			size = cfg.CodeWords - int(base)
 		}
-		if size < 4 {
-			break
+		if size < minFuncWords {
+			if len(s.funcs) > 0 {
+				break
+			}
+			// First function: take whatever remains (≥ minFuncWords, since
+			// CodeWords was clamped and base is still 0).
+			size = cfg.CodeWords - int(base)
 		}
 		fn := synthFunc{base: base}
 		off := isa.Word(0)

@@ -47,6 +47,76 @@ func main() {
 	}
 }
 
+// TestRecorderKeepAndDiscard is the regression test for the KeepInstrs
+// semantics bug: the bound used to silently keep a start-biased prefix with
+// no way to tell a complete short run from a truncated long one.
+func TestRecorderKeepAndDiscard(t *testing.T) {
+	im, err := tinyc.Build(`
+func main() {
+	var i;
+	i = 0;
+	while (i < 20) { i = i + 1; }
+	print(i);
+}`, reorg.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(r *Recorder) {
+		m := core.New(core.DefaultConfig(), nil)
+		m.Load(im)
+		r.Attach(m.CPU)
+		if _, err := m.Run(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var full Recorder
+	run(&full)
+	if full.Truncated {
+		t.Fatal("unbounded recorder reported truncation")
+	}
+
+	bounded := Recorder{KeepInstrs: 5}
+	run(&bounded)
+	if len(bounded.Instrs) != 5 {
+		t.Fatalf("bounded recorder kept %d addresses, want 5", len(bounded.Instrs))
+	}
+	if !bounded.Truncated {
+		t.Fatal("bounded recorder dropped addresses but did not set Truncated")
+	}
+	for i := range bounded.Instrs {
+		if bounded.Instrs[i] != full.Instrs[i] {
+			t.Fatalf("kept prefix diverges from the full trace at %d", i)
+		}
+	}
+	if len(bounded.Branches) != len(full.Branches) {
+		t.Fatalf("KeepInstrs affected the branch stream: %d vs %d",
+			len(bounded.Branches), len(full.Branches))
+	}
+
+	roomy := Recorder{KeepInstrs: len(full.Instrs) + 10}
+	run(&roomy)
+	if roomy.Truncated {
+		t.Fatal("recorder with headroom reported truncation")
+	}
+	if len(roomy.Instrs) != len(full.Instrs) {
+		t.Fatalf("roomy recorder kept %d addresses, want %d", len(roomy.Instrs), len(full.Instrs))
+	}
+
+	discard := Recorder{DiscardInstrs: true}
+	run(&discard)
+	if len(discard.Instrs) != 0 {
+		t.Fatalf("DiscardInstrs recorder captured %d addresses", len(discard.Instrs))
+	}
+	if discard.Truncated {
+		t.Fatal("DiscardInstrs is not truncation and must not claim to be")
+	}
+	if len(discard.Branches) != len(full.Branches) {
+		t.Fatalf("DiscardInstrs affected the branch stream: %d vs %d",
+			len(discard.Branches), len(full.Branches))
+	}
+}
+
 func TestProfileMatchesReorganizerNumbering(t *testing.T) {
 	src := `
 func main() {
