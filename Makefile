@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race lint-suite fuzz bench bench-hot
+.PHONY: check build test vet race lint-suite fuzz bench bench-hot trace-sample
 
 check: vet build test race lint-suite
 
@@ -33,14 +33,28 @@ fuzz:
 # with no cache (every cell live at -parallel 1), then cold (recording) and
 # hot (replaying) over one cache directory, so scheduling nondeterminism and
 # unsound memo keys both surface as table drift; the hot pass's report is
-# BENCH_pr.json, then run the Go benchmarks once. CI uploads BENCH_pr.json.
+# BENCH_pr.json (with the observation-overhead measurement recorded), then
+# run the Go benchmarks once. CI uploads BENCH_pr.json. The greps are the
+# attribution gate: the report must carry the cycle-attribution breakdown
+# with conservation passing, both engine-wide and per cell (more than one
+# "attribution" key means the cell_timings entries carry their own).
 BENCHCACHE ?= .benchcache
 bench:
 	rm -rf $(BENCHCACHE)
 	$(GO) run ./cmd/mipsx-bench -parallel 1 -check BENCH_baseline.json > /dev/null
 	$(GO) run ./cmd/mipsx-bench -check BENCH_baseline.json -cache $(BENCHCACHE) -json > BENCH_cold.json
-	$(GO) run ./cmd/mipsx-bench -check BENCH_baseline.json -cache $(BENCHCACHE) -json > BENCH_pr.json
+	$(GO) run ./cmd/mipsx-bench -check BENCH_baseline.json -cache $(BENCHCACHE) -json -obs-overhead > BENCH_pr.json
+	grep -q '"attribution_conserved": true' BENCH_pr.json
+	grep -q '"attribution_conserved": true' BENCH_cold.json
+	test `grep -c '"attribution"' BENCH_pr.json` -gt 1
+	grep -q '"obs_overhead"' BENCH_pr.json
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# Sample observability artifacts: a Perfetto-loadable event trace and an
+# attribution report from one benchmark run (CI uploads both).
+trace-sample:
+	$(GO) run ./cmd/mipsx-run -bench bubblesort -breakdown \
+		-trace-out trace_sample.json -breakdown-out breakdown_sample.json
 
 # Hot-only pass against an existing cache directory (after `make bench`).
 bench-hot:

@@ -14,6 +14,12 @@
 //	mipsx-bench -cache .benchcache       # persist the content-addressed
 //	                                     # result cache across runs
 //	mipsx-bench -progress                # live cells/hit-rate/rate lines
+//	mipsx-bench -json -obs-overhead      # also measure observation overhead
+//
+// Every run checks cycle-attribution conservation: the engine-wide
+// attribution (summed over live and replayed cells) must equal
+// total_cycles_simulated, and each live machine run verifies its own
+// ledger against its per-unit counters before its cell completes.
 //
 // Tables are byte-identical at every -parallel level, with -predecode on or
 // off, and with the result cache cold or hot; only the timing and memo
@@ -64,6 +70,8 @@ func main() {
 		"directory backing the content-addressed result cache (empty = in-memory only)")
 	progress := flag.Bool("progress", false,
 		"print live progress to stderr (cells done/total, memo hit rate, cells/sec)")
+	obsOverhead := flag.Bool("obs-overhead", false,
+		"measure the observation substrate's wall-clock overhead and record it in the report")
 	flag.Parse()
 
 	experiments.SetPredecode(*predecode)
@@ -109,6 +117,27 @@ func main() {
 	eng.FlushProgress()
 
 	doc := experiments.NewBenchDoc(tables, perExp, wall, *parallel, *predecode, eng)
+
+	// Conservation gate: every simulated cycle this run accounted must carry
+	// a cause (live cells verify per machine; replayed cells carry their
+	// recorded breakdown). A violation is a correctness bug, not drift.
+	if !doc.AttributionConserved {
+		fmt.Fprintf(os.Stderr, "mipsx-bench: attribution conservation violated: %d attributed != %d simulated\n",
+			doc.AttributedCycles, doc.TotalCyclesSimulated)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mipsx-bench: attribution conserved: %d cycles across %d causes\n",
+		doc.AttributedCycles, len(doc.Attribution))
+
+	if *obsOverhead {
+		o, err := experiments.MeasureObsOverhead(0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mipsx-bench: -obs-overhead: %v\n", err)
+			os.Exit(1)
+		}
+		doc.ObsOverhead = o
+		fmt.Fprintf(os.Stderr, "mipsx-bench: %s\n", o)
+	}
 
 	if *check != "" {
 		if code := compare(*check, doc); code != 0 {

@@ -11,6 +11,8 @@
 //	mipsx-run -tiny -profile prog.t       # two-pass profile feedback
 //	mipsx-run -stats -check prog.s
 //	mipsx-run -lint prog.s                # refuse to run hazardous code
+//	mipsx-run -breakdown prog.s           # cycle-attribution table
+//	mipsx-run -trace-out t.json prog.s    # Chrome/Perfetto event trace
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/lint"
+	"repro/internal/obs"
 	"repro/internal/reorg"
 	"repro/internal/tinyc"
 	"repro/internal/trace"
@@ -34,14 +37,39 @@ func main() {
 	doLint := flag.Bool("lint", false, "statically verify the program before running; refuse on errors")
 	maxCycles := flag.Uint64("max-cycles", 100_000_000, "cycle limit")
 	pipe := flag.Int("pipe", 0, "print the first N cycles of pipeline occupancy")
+	breakdown := flag.Bool("breakdown", false, "print the cycle-attribution table (conservation-checked)")
+	breakdownOut := flag.String("breakdown-out", "", "write the attribution report as JSON (mipsx-trace viz renders it)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event/Perfetto JSON trace of the run")
+	traceEvents := flag.Int("trace-events", obs.DefaultMaxEvents, "with -trace-out: event-buffer bound (oldest kept, rest dropped)")
+	benchName := flag.String("bench", "", "run the named built-in tinyc benchmark instead of a source file")
 	flag.Parse()
-	if flag.NArg() != 1 {
+
+	var src []byte
+	var err error
+	switch {
+	case *benchName != "":
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: mipsx-run -bench NAME [flags]")
+			os.Exit(2)
+		}
+		*tiny = true
+		found := false
+		for _, b := range tinyc.Benchmarks() {
+			if b.Name == *benchName {
+				src, found = []byte(b.Source), true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "mipsx-run: unknown benchmark %q (see internal/tinyc)\n", *benchName)
+			os.Exit(2)
+		}
+	case flag.NArg() == 1:
+		if src, err = os.ReadFile(flag.Arg(0)); err != nil {
+			fail(err)
+		}
+	default:
 		fmt.Fprintln(os.Stderr, "usage: mipsx-run [flags] prog.{s,t}")
 		os.Exit(2)
-	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fail(err)
 	}
 
 	var im *asm.Image
@@ -90,6 +118,16 @@ func main() {
 	}
 
 	m := core.New(cfg, os.Stdout)
+	// Observation is attached only when asked for: the unobserved machine
+	// keeps the nil-sink fast path.
+	observed := *breakdown || *breakdownOut != "" || *traceOut != ""
+	if observed {
+		s := obs.NewMachineSink()
+		if *traceOut != "" {
+			s.Tracer = &obs.Tracer{MaxEvents: *traceEvents, Instrs: true}
+		}
+		m.Observe(s)
+	}
 	m.Load(im)
 	for i := 0; i < *pipe && !m.Console.Halted; i++ {
 		fmt.Println(m.CPU.Snapshot())
@@ -98,6 +136,37 @@ func main() {
 	cycles, err := m.Run(*maxCycles)
 	if err != nil {
 		fail(err)
+	}
+	if observed {
+		if err := m.VerifyAttribution(); err != nil {
+			fail(err)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := m.Obs.Tracer.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "mipsx-run: wrote %d trace events to %s (%d dropped at the %d-event bound)\n",
+			m.Obs.Tracer.Len(), *traceOut, m.Obs.Tracer.Dropped(), *traceEvents)
+	}
+	if *breakdownOut != "" {
+		b, err := m.ObsReport().Marshal()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*breakdownOut, b, 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if *breakdown {
+		fmt.Print(m.ObsReport().DecompositionTable())
 	}
 	if *check {
 		for _, v := range m.CPU.Violations {

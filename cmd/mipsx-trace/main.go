@@ -8,20 +8,35 @@
 //	mipsx-trace -profile pascal -refs 300000
 //	mipsx-trace -profile lisp -fetchback 1 -penalty 3
 //	mipsx-trace -profile fp -dump 50          # show the first 50 addresses
+//
+// The viz subcommand renders observability artifacts as CPI-decomposition
+// tables — either a single machine's attribution report (mipsx-run
+// -breakdown-out) or a whole bench document (mipsx-bench -json):
+//
+//	mipsx-trace viz breakdown.json
+//	mipsx-trace viz -cells BENCH_pr.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/ecache"
+	"repro/internal/experiments"
 	"repro/internal/icache"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "viz" {
+		viz(os.Args[2:])
+		return
+	}
 	profile := flag.String("profile", "pascal", "workload profile: pascal, lisp, fp")
 	codeKW := flag.Int("code-kwords", 0, "static code footprint in K words (0 = profile default)")
 	refs := flag.Int("refs", 300_000, "trace length in instruction references")
@@ -71,9 +86,86 @@ func main() {
 	fmt.Printf("icache           %d sets × %d ways × %d words, fetch-back %d, %d-cycle miss\n",
 		icfg.Sets, icfg.Ways, icfg.BlockWords, icfg.FetchBack, icfg.MissPenalty)
 	fmt.Printf("icache miss      %.2f%%\n", 100*ic.Stats.MissRatio())
-	fmt.Printf("ifetch cost      %.3f cycles (icache stalls only)\n",
-		1+float64(ic.Stats.StallCycles)/float64(ic.Stats.Fetches))
+	fmt.Printf("ifetch cost      %.3f cycles (icache stalls only)\n", ic.Stats.FetchCost())
 	fmt.Printf("ecache miss      %.2f%% (%d accesses)\n",
 		100*e.Stats.MissRatio(), e.Stats.Accesses())
 	fmt.Printf("bus traffic      %d words\n", bus.WordsCarried)
+}
+
+// viz renders an observability artifact as a CPI-decomposition table. The
+// file's schema field selects the renderer: an obs attribution report
+// prints directly; a bench document prints the engine-wide attribution
+// (and, with -cells, each cell's own breakdown).
+func viz(args []string) {
+	fs := flag.NewFlagSet("viz", flag.ExitOnError)
+	cells := fs.Bool("cells", false, "with a bench document: also print each cell's attribution")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mipsx-trace viz [-cells] report.json")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	b, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(b, &probe); err != nil {
+		fail(fmt.Errorf("%s: %w", fs.Arg(0), err))
+	}
+	switch probe.Schema {
+	case obs.ReportSchema:
+		rep, err := obs.ParseReport(b)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(rep.DecompositionTable())
+	case experiments.BenchSchema:
+		doc, err := experiments.ParseBenchDoc(b)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("bench document: %d cells, %d cycles simulated\n\n", doc.Cells, doc.TotalCyclesSimulated)
+		fmt.Print(attrTable(doc.Attribution, doc.TotalCyclesSimulated).DecompositionTable())
+		if doc.ObsOverhead != nil {
+			fmt.Printf("\n%s\n", doc.ObsOverhead)
+		}
+		if *cells {
+			for _, t := range doc.CellTimings {
+				if len(t.Attribution) == 0 {
+					continue
+				}
+				var total uint64
+				for _, v := range t.Attribution {
+					total += v
+				}
+				fmt.Printf("\ncell %s (%d cycles)\n", t.ID, total)
+				fmt.Print(attrTable(t.Attribution, total).DecompositionTable())
+			}
+		}
+	default:
+		fail(fmt.Errorf("%s: unrecognized schema %q (want %q or %q)",
+			fs.Arg(0), probe.Schema, obs.ReportSchema, experiments.BenchSchema))
+	}
+}
+
+// attrTable lifts a cause → cycles map into an obs report so the standard
+// decomposition renderer (and its conservation line) applies.
+func attrTable(attr map[string]uint64, cycles uint64) *obs.Report {
+	rep := &obs.Report{Schema: obs.ReportSchema, Cycles: cycles}
+	for cause, n := range attr {
+		rep.Causes = append(rep.Causes, obs.CauseCycles{Cause: cause, Cycles: n})
+	}
+	sort.Slice(rep.Causes, func(i, j int) bool { return rep.Causes[i].Cause < rep.Causes[j].Cause })
+	return rep
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mipsx-trace:", err)
+	os.Exit(1)
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/icache"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -63,6 +64,10 @@ type Machine struct {
 	Console *coproc.Console
 
 	Image *asm.Image
+
+	// Obs is the observability sink shared by the pipeline and both caches;
+	// nil (the default) means observation is off. Attach with Observe.
+	Obs *obs.Sink
 
 	out strings.Builder
 }
@@ -220,7 +225,9 @@ func (m *Machine) Stats() Stats {
 
 // IfetchCost is the average cost of an instruction fetch in cycles:
 // 1 + miss ratio × miss service time (the paper's 1.24 cycles at a 12% miss
-// ratio with 2-cycle misses).
+// ratio with 2-cycle misses). Guarded: a machine that never fetched costs 0,
+// not NaN — every ratio helper on these stats must carry the same guard
+// (see TestStatsZeroValueHelpers).
 func (s Stats) IfetchCost() float64 {
 	if s.Pipeline.Fetches == 0 {
 		return 0

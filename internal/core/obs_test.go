@@ -1,0 +1,215 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ecache"
+	"repro/internal/icache"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// TestStatsZeroValueHelpers is the divide-by-zero regression net: every
+// ratio helper on the aggregated and per-unit Stats must return a finite
+// zero on a machine that never ran, not NaN or ±Inf (machine.go's
+// IfetchCost comment points here).
+func TestStatsZeroValueHelpers(t *testing.T) {
+	finiteZero := func(name string, v float64) {
+		t.Helper()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s on zero stats = %v, want finite 0", name, v)
+		}
+		if v != 0 {
+			t.Errorf("%s on zero stats = %v, want 0", name, v)
+		}
+	}
+	var s Stats
+	finiteZero("Stats.IfetchCost", s.IfetchCost())
+	finiteZero("Stats.CPI", s.CPI())
+	finiteZero("Stats.SustainedMIPS", s.SustainedMIPS())
+	finiteZero("Stats.PinBandwidthMW", s.PinBandwidthMW())
+	finiteZero("Stats.DemandBandwidthMW", s.DemandBandwidthMW())
+	var p pipeline.Stats
+	finiteZero("pipeline.Stats.CPI", p.CPI())
+	finiteZero("pipeline.Stats.NopFraction", p.NopFraction())
+	finiteZero("pipeline.Stats.CyclesPerBranch", p.CyclesPerBranch())
+	var ic icache.Stats
+	finiteZero("icache.Stats.MissRatio", ic.MissRatio())
+	finiteZero("icache.Stats.FetchCost", ic.FetchCost())
+	var ec ecache.Stats
+	finiteZero("ecache.Stats.MissRatio", ec.MissRatio())
+	finiteZero("ecache.Stats.TransferRatio", ec.TransferRatio())
+}
+
+// traceProgram is a short deterministic workload for the golden trace: a
+// 5-iteration loop with a store and load, so the trace carries pipe spans,
+// a branch squash, an icache miss and ecache traffic.
+const traceProgram = `
+main:	addi r1, r0, 0
+	addi r2, r0, 5
+	addi r3, r0, 4096
+loop:	st   r1, 0(r3)
+	ld   r4, 0(r3)
+	addi r1, r1, 1
+	bne.sq r1, r2, loop
+	nop
+	nop
+	putw r4
+	halt
+`
+
+// tracedRun executes traceProgram with a full sink (ledger + tracer with
+// instruction spans) attached.
+func tracedRun(t *testing.T) *Machine {
+	t.Helper()
+	m := New(DefaultConfig(), nil)
+	s := obs.NewMachineSink()
+	s.Tracer = &obs.Tracer{Instrs: true}
+	m.Observe(s)
+	if err := m.LoadSource(traceProgram); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := m.Run(100000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := m.VerifyAttribution(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestTraceGolden locks the emitted Chrome trace-event JSON byte-for-byte.
+// The simulator is deterministic, the tracer's field order is fixed, and
+// timestamps are simulated cycles, so two runs of the same program must
+// serialize identically — regenerate with UPDATE_GOLDEN=1 after an
+// intentional trace-format change.
+func TestTraceGolden(t *testing.T) {
+	m := tracedRun(t)
+	var buf bytes.Buffer
+	if err := m.Obs.Tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace JSON drifted from %s (%d vs %d bytes); regenerate with UPDATE_GOLDEN=1 if intentional",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestTraceSchemaValid validates the emitted JSON against the Chrome
+// trace-event contract Perfetto loads: a traceEvents array whose entries
+// carry the phase-appropriate fields.
+func TestTraceSchemaValid(t *testing.T) {
+	m := tracedRun(t)
+	var buf bytes.Buffer
+	if err := m.Obs.Tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   *float64          `json:"ts"`
+			Dur  *float64          `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	var spans, instants, meta int
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			t.Fatalf("event %d has no name", i)
+		}
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Ts == nil || ev.Dur == nil {
+				t.Fatalf("span %d (%s) missing ts/dur", i, ev.Name)
+			}
+		case "i":
+			instants++
+			if ev.Ts == nil {
+				t.Fatalf("instant %d (%s) missing ts", i, ev.Name)
+			}
+		case "M":
+			meta++
+			if ev.Args["name"] == "" {
+				t.Fatalf("metadata %d missing args.name", i)
+			}
+		default:
+			t.Fatalf("event %d (%s) has unsupported phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	if spans == 0 || instants == 0 || meta == 0 {
+		t.Fatalf("trace lacks a phase: %d spans, %d instants, %d metadata", spans, instants, meta)
+	}
+}
+
+// TestVerifyAttributionDetectsViolation proves the conservation check has
+// teeth: corrupting the ledger by one cycle must fail verification.
+func TestVerifyAttributionDetectsViolation(t *testing.T) {
+	m := tracedRun(t)
+	m.Obs.Ledger.Add(obs.CauseExecute, 1)
+	if err := m.VerifyAttribution(); err == nil {
+		t.Fatal("tampered ledger passed VerifyAttribution")
+	}
+	if err := m.ObsReport().Check(); err == nil {
+		t.Fatal("tampered ledger passed Report.Check")
+	}
+}
+
+// TestObservationDoesNotChangeCycles runs the same program with and without
+// a sink: observation must be pure — identical cycle counts, outputs and
+// per-unit counters.
+func TestObservationDoesNotChangeCycles(t *testing.T) {
+	runIt := func(observe bool) *Machine {
+		m := New(DefaultConfig(), nil)
+		if observe {
+			s := obs.NewMachineSink()
+			s.Tracer = &obs.Tracer{Instrs: true}
+			m.Observe(s)
+		}
+		if err := m.LoadSource(traceProgram); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		if _, err := m.Run(100000); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return m
+	}
+	plain, traced := runIt(false), runIt(true)
+	if plain.CPU.Stats != traced.CPU.Stats {
+		t.Errorf("pipeline stats changed under observation:\nplain  %+v\ntraced %+v", plain.CPU.Stats, traced.CPU.Stats)
+	}
+	if plain.ICache.Stats != traced.ICache.Stats {
+		t.Errorf("icache stats changed under observation")
+	}
+	if plain.ECache.Stats != traced.ECache.Stats {
+		t.Errorf("ecache stats changed under observation")
+	}
+	if plain.Output() != traced.Output() {
+		t.Errorf("output changed under observation: %q vs %q", plain.Output(), traced.Output())
+	}
+}

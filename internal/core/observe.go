@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Observe attaches an observability sink to every instrumented unit of the
+// machine: the pipeline (base-cycle causes, coprocessor busy), the Icache
+// (miss service + ifetch bracketing) and the Ecache (refill stalls split
+// from bus-arbitration waits). Attach before the first Run: the ledger's
+// conservation invariant counts cycles from attachment, so a mid-run attach
+// under-attributes. The sink's clock is wired to the pipeline cycle counter
+// so trace timestamps are simulated cycles. A nil sink detaches.
+func (m *Machine) Observe(s *obs.Sink) {
+	m.Obs = s
+	m.CPU.Obs = s
+	m.ICache.Obs = s
+	m.ECache.Obs = s
+	if s == nil {
+		return
+	}
+	if s.Now == nil {
+		s.Now = func() uint64 { return m.CPU.Stats.Cycles }
+	}
+	// Counters registry: the per-unit counters a Report snapshots alongside
+	// the ledger. Probes read live machine state, so registering is cheap
+	// and snapshotting reflects the moment ObsReport is called.
+	s.Reg.Register("pipeline.fetches", func() uint64 { return m.CPU.Stats.Fetches })
+	s.Reg.Register("pipeline.retired", func() uint64 { return m.CPU.Stats.Retired })
+	s.Reg.Register("pipeline.squashed", func() uint64 { return m.CPU.Stats.Squashed })
+	s.Reg.Register("pipeline.branches", func() uint64 { return m.CPU.Stats.Branches })
+	s.Reg.Register("pipeline.exceptions", func() uint64 { return m.CPU.Stats.Exceptions })
+	s.Reg.Register("icache.fetches", func() uint64 { return m.ICache.Stats.Fetches })
+	s.Reg.Register("icache.misses", func() uint64 { return m.ICache.Stats.Misses })
+	s.Reg.Register("icache.stall_cycles", func() uint64 { return m.ICache.Stats.StallCycles })
+	s.Reg.Register("ecache.reads", func() uint64 { return m.ECache.Stats.Reads })
+	s.Reg.Register("ecache.writes", func() uint64 { return m.ECache.Stats.Writes })
+	s.Reg.Register("ecache.read_misses", func() uint64 { return m.ECache.Stats.ReadMisses })
+	s.Reg.Register("ecache.write_misses", func() uint64 { return m.ECache.Stats.WriteMisses })
+	s.Reg.Register("ecache.stall_cycles", func() uint64 { return m.ECache.Stats.StallCycles })
+	s.Reg.Register("bus.words", func() uint64 { return m.Bus.WordsCarried })
+	s.Reg.Register("bus.transfers", func() uint64 { return m.Bus.Transfers })
+}
+
+// ObsReport snapshots the attached sink into a serializable report, with the
+// pipeline's cycle and issued-instruction counts as the conservation totals.
+// Nil when no sink is attached.
+func (m *Machine) ObsReport() *obs.Report {
+	if m.Obs == nil {
+		return nil
+	}
+	return m.Obs.Report(m.CPU.Stats.Cycles, m.CPU.Stats.Issued())
+}
+
+// VerifyAttribution checks the cycle-attribution invariants against the
+// per-unit Stats counters and returns the first violation:
+//
+//	sum(causes)                               == pipeline Cycles   (conservation)
+//	execute+nop+pipe-fill+squash+exception    == pipeline Fetches  (one base cause per Step)
+//	icache-miss + ecache-ifetch               == icache StallCycles (the double-count seam:
+//	    icache StallCycles INCLUDES the Ecache refill portion, which the
+//	    Ecache also counts — the ledger holds each cycle exactly once)
+//	ecache-ifetch + ecache-read + ecache-write == ecache StallCycles
+//	ecache-read + ecache-write                == pipeline DataStalls
+//	coproc-busy                               == pipeline CoprocStalls
+//
+// On a shared bus (multiprocessor nodes) arbitration waits are carved out of
+// the cache causes into bus-wait, so the per-cause rows become lower bounds;
+// conservation stays exact. Nil sink verifies trivially.
+func (m *Machine) VerifyAttribution() error {
+	if m.Obs == nil {
+		return nil
+	}
+	l := m.Obs.Ledger
+	p, ic, ec := m.CPU.Stats, m.ICache.Stats, m.ECache.Stats
+	if got := l.Total(); got != p.Cycles {
+		return fmt.Errorf("core: attribution conservation violated: ledger %d != cycles %d (Δ%+d)",
+			got, p.Cycles, int64(got)-int64(p.Cycles))
+	}
+	base := l.Count(obs.CauseExecute) + l.Count(obs.CauseNop) + l.Count(obs.CausePipeFill) +
+		l.Count(obs.CauseSquashAnnul) + l.Count(obs.CauseExceptionKill)
+	if base != p.Fetches {
+		return fmt.Errorf("core: base-cause cycles %d != pipeline fetches %d", base, p.Fetches)
+	}
+	type seam struct {
+		name string
+		got  uint64
+		want uint64
+	}
+	seams := []seam{
+		{"icache-miss+ecache-ifetch vs icache.StallCycles",
+			l.Count(obs.CauseIcacheMiss) + l.Count(obs.CauseEcacheIFetch), ic.StallCycles},
+		{"ecache causes vs ecache.StallCycles",
+			l.Count(obs.CauseEcacheIFetch) + l.Count(obs.CauseEcacheRead) + l.Count(obs.CauseEcacheWrite),
+			ec.StallCycles},
+		{"ecache-read+ecache-write vs pipeline.DataStalls",
+			l.Count(obs.CauseEcacheRead) + l.Count(obs.CauseEcacheWrite), p.DataStalls},
+		{"coproc-busy vs pipeline.CoprocStalls", l.Count(obs.CauseCoprocBusy), p.CoprocStalls},
+	}
+	wait := l.Count(obs.CauseBusWait)
+	for _, s := range seams {
+		if wait == 0 {
+			if s.got != s.want {
+				return fmt.Errorf("core: attribution seam %s: %d != %d", s.name, s.got, s.want)
+			}
+		} else if s.got > s.want || s.got+wait < s.want {
+			// With contention each seam loses its own (unknown) share of the
+			// waits, but can lose at most all of them.
+			lo := uint64(0)
+			if s.want > wait {
+				lo = s.want - wait
+			}
+			return fmt.Errorf("core: attribution seam %s: %d outside [%d, %d]",
+				s.name, s.got, lo, s.want)
+		}
+	}
+	return nil
+}

@@ -15,10 +15,12 @@
 package ecache
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // Replacement selects the replacement policy within a set.
@@ -151,6 +153,14 @@ type Cache struct {
 	Bus *mem.Bus
 
 	Stats Stats
+
+	// Obs, when non-nil, receives processor-stall attribution and miss
+	// spans. Read/Write charge the stalls they return; arbitration waits
+	// inside fill are carved out to the bus-wait cause, and reads issued
+	// while the Icache is refilling are re-attributed to ecache-ifetch by
+	// the ledger's BeginIFetch bracket. Prefetch fills charge nothing — they
+	// never stall the processor.
+	Obs *obs.Sink
 }
 
 // New builds a cache over the given memory and bus. Config values must be
@@ -243,10 +253,11 @@ func (c *Cache) touch(s isa.Word, way int) {
 }
 
 // fill allocates a line for tag in set s, performing any needed write-back,
-// and returns (way, stall cycles spent on the bus).
-func (c *Cache) fill(s, tag isa.Word) (int, int) {
+// and returns (way, stall cycles spent on the bus, arbitration wait within
+// that stall).
+func (c *Cache) fill(s, tag isa.Word) (int, int, int) {
 	way := c.victim(s)
-	stall := 0
+	stall, wait := 0, 0
 	l := &c.sets[s][way]
 	if l.valid && l.dirty {
 		// Copy-back of the evicted line.
@@ -255,7 +266,9 @@ func (c *Cache) fill(s, tag isa.Word) (int, int) {
 		for i := 0; i < c.cfg.LineWords; i++ {
 			c.Mem.Write(base+isa.Word(i), c.Mem.Peek(base+isa.Word(i)))
 		}
-		stall += c.Bus.TransferCost(c.cfg.LineWords)
+		cost, w := c.Bus.TransferCostWait(c.cfg.LineWords)
+		stall += cost
+		wait += w
 	}
 	// Fetch the new line. (Data contents live in main memory in this model;
 	// the cache tracks presence and cost, which is what every experiment
@@ -266,10 +279,12 @@ func (c *Cache) fill(s, tag isa.Word) (int, int) {
 	for i := 0; i < c.cfg.LineWords; i++ {
 		c.Mem.Read(base + isa.Word(i))
 	}
-	stall += c.Bus.TransferCost(c.cfg.LineWords)
+	cost, w := c.Bus.TransferCostWait(c.cfg.LineWords)
+	stall += cost
+	wait += w
 	c.tick++
 	*l = line{tag: tag, valid: true, use: c.tick}
-	return way, stall
+	return way, stall, wait
 }
 
 // lineBase reconstructs the first word address of a line from set+tag.
@@ -298,10 +313,17 @@ func (c *Cache) Read(a isa.Word) (isa.Word, int) {
 		return c.Mem.Peek(a), 0
 	}
 	c.Stats.ReadMisses++
-	way, stall := c.fill(s, tag)
+	way, stall, wait := c.fill(s, tag)
 	c.sets[s][way].refd = true
 	stall += c.cfg.LateMissExtra
 	c.Stats.StallCycles += uint64(stall)
+	if o := c.Obs; o != nil {
+		o.Ledger.Stall(obs.CauseEcacheRead, uint64(stall), uint64(wait))
+		if o.Tracer != nil {
+			o.Tracer.Span(obs.TrackEcache, "cache", "dmiss-read", o.Cycle(), uint64(stall),
+				map[string]string{"addr": fmt.Sprintf("%#x", uint32(a))})
+		}
+	}
 	switch c.cfg.Fetch {
 	case PrefetchAlways, PrefetchOnMiss, PrefetchTagged:
 		c.prefetchNext(a)
@@ -320,7 +342,11 @@ func (c *Cache) prefetchNext(a isa.Word) {
 		return
 	}
 	c.Stats.Prefetches++
-	c.fill(s, tag) // arrives with refd clear (tagged prefetch semantics)
+	// Arrives with refd clear (tagged prefetch semantics). The fill's cost
+	// (and any arbitration wait) is deliberately dropped: prefetches move in
+	// otherwise idle cycles and never stall the processor, so the ledger
+	// charges nothing for them either.
+	c.fill(s, tag)
 }
 
 // Write performs a processor write, returning stall cycles.
@@ -333,9 +359,17 @@ func (c *Cache) Write(a, w isa.Word) int {
 	case CopyBack:
 		if way < 0 {
 			c.Stats.WriteMisses++
-			way, stall = c.fill(s, tag)
+			var wait int
+			way, stall, wait = c.fill(s, tag)
 			stall += c.cfg.LateMissExtra
 			c.Stats.StallCycles += uint64(stall)
+			if o := c.Obs; o != nil {
+				o.Ledger.Stall(obs.CauseEcacheWrite, uint64(stall), uint64(wait))
+				if o.Tracer != nil {
+					o.Tracer.Span(obs.TrackEcache, "cache", "dmiss-write", o.Cycle(), uint64(stall),
+						map[string]string{"addr": fmt.Sprintf("%#x", uint32(a))})
+				}
+			}
 		} else {
 			c.touch(s, way)
 		}

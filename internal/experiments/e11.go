@@ -16,14 +16,24 @@ const e11ClusterLimit = 1_000_000_000
 
 // runCluster advances a cluster to completion in runChunk slices so
 // cancellation is observed (Cluster.Run checks nodes against an absolute
-// per-node cycle limit, so it is resumable with a growing limit).
+// per-node cycle limit, so it is resumable with a growing limit). Every
+// node gets a ledger-only sink, so the shared-bus arbitration waits show up
+// as the bus-wait cause in the aggregated attribution; conservation is
+// verified per node on success.
 func runCluster(ctx context.Context, c *multi.Cluster, maxCycles uint64) error {
+	c.Observe()
 	account := func() {
+		e := DefaultEngine()
 		var sum uint64
+		attr := make(map[string]uint64)
 		for _, n := range c.Nodes {
 			sum += n.CPU.Stats.Cycles
+			for k, v := range n.Obs.Ledger.Map() {
+				attr[k] += v
+			}
 		}
-		DefaultEngine().AddCyclesCtx(ctx, sum)
+		e.AddCyclesCtx(ctx, sum)
+		e.AddAttrCtx(ctx, attr)
 	}
 	for limit := uint64(runChunk); ; limit += runChunk {
 		if err := ctx.Err(); err != nil {
@@ -36,7 +46,7 @@ func runCluster(ctx context.Context, c *multi.Cluster, maxCycles uint64) error {
 		err := c.Run(limit)
 		if err == nil {
 			account()
-			return nil
+			return c.VerifyAttribution()
 		}
 		if limit >= maxCycles {
 			account()

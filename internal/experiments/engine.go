@@ -64,6 +64,11 @@ type CellTiming struct {
 	// Skipped marks a cell claimed after a cancellation (another cell's
 	// failure, a timeout, or the caller's ctx); it never ran.
 	Skipped bool `json:"skipped,omitempty"`
+	// Attribution decomposes the cell's simulated cycles by cause (the
+	// obs ledger's cause names). Replayed cells carry the attribution their
+	// live run recorded, byte-identical. JSON maps marshal with sorted keys,
+	// so the field is deterministic.
+	Attribution map[string]uint64 `json:"attribution,omitempty"`
 }
 
 // cellMeter attributes simulated cycles to the cell that accounted them,
@@ -73,6 +78,9 @@ type CellTiming struct {
 type cellMeter struct {
 	n      atomic.Uint64
 	parent *cellMeter
+
+	mu   sync.Mutex
+	attr map[string]uint64
 }
 
 type meterKeyType struct{}
@@ -81,6 +89,38 @@ func (m *cellMeter) add(n uint64) {
 	for ; m != nil; m = m.parent {
 		m.n.Add(n)
 	}
+}
+
+// addAttr folds a per-cause cycle breakdown into this meter and every
+// enclosing cell's, mirroring add for the attributed decomposition.
+func (m *cellMeter) addAttr(a map[string]uint64) {
+	if len(a) == 0 {
+		return
+	}
+	for ; m != nil; m = m.parent {
+		m.mu.Lock()
+		if m.attr == nil {
+			m.attr = make(map[string]uint64, len(a))
+		}
+		for k, v := range a {
+			m.attr[k] += v
+		}
+		m.mu.Unlock()
+	}
+}
+
+// attrSnapshot copies the accumulated attribution (nil when none).
+func (m *cellMeter) attrSnapshot() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.attr) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(m.attr))
+	for k, v := range m.attr {
+		out[k] = v
+	}
+	return out
 }
 
 func meterFrom(ctx context.Context) *cellMeter {
@@ -124,6 +164,7 @@ type Engine struct {
 
 	mu      sync.Mutex
 	timings []CellTiming
+	attr    map[string]uint64 // simulated cycles by cause, summed over all cells
 }
 
 // progressEvery throttles progress lines.
@@ -218,9 +259,10 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) error {
 					continue
 				}
 				start := time.Now()
-				replayed, err := e.runOne(ctx, cells[i])
+				replayed, attr, err := e.runOne(ctx, cells[i])
 				e.cells.Add(1)
-				timings[i] = CellTiming{ID: cells[i].ID, WallMS: float64(time.Since(start)) / 1e6, Memo: replayed}
+				timings[i] = CellTiming{ID: cells[i].ID, WallMS: float64(time.Since(start)) / 1e6,
+					Memo: replayed, Attribution: attr}
 				if err != nil {
 					timings[i].Err = err.Error()
 					errs[i] = err
@@ -263,8 +305,10 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) error {
 
 // runOne executes one cell: a content-addressed replay when the cell is
 // memoizable and its key hits, a live run otherwise (recording the result
-// on success).
-func (e *Engine) runOne(ctx context.Context, c Cell) (replayed bool, err error) {
+// on success). attr is the cell's per-cause cycle breakdown — live from its
+// meter, replayed from the memo entry — for the bench report's per-cell
+// attribution.
+func (e *Engine) runOne(ctx context.Context, c Cell) (replayed bool, attr map[string]uint64, err error) {
 	memoizable := c.Memo != nil && c.Memo.Key != nil
 	var key string
 	if memoizable && e.Store != nil {
@@ -273,13 +317,14 @@ func (e *Engine) runOne(ctx context.Context, c Cell) (replayed bool, err error) 
 			key = k
 			if entry, ok := e.Store.get(key); ok && c.Memo.Load != nil {
 				if lerr := c.Memo.Load(entry.Data); lerr == nil {
-					// Replay: account the recorded simulated cycles exactly
-					// as the live run did, to the engine and to any
-					// enclosing cell's meter.
+					// Replay: account the recorded simulated cycles and their
+					// attribution exactly as the live run did, to the engine
+					// and to any enclosing cell's meter.
 					e.memoHits.Add(1)
 					e.cycles.Add(entry.Cycles)
 					meterFrom(ctx).add(entry.Cycles)
-					return true, nil
+					e.AddAttrCtx(ctx, entry.Attr)
+					return true, entry.Attr, nil
 				}
 				// An undecodable entry is treated as a miss; the live run
 				// below overwrites it.
@@ -299,22 +344,24 @@ func (e *Engine) runOne(ctx context.Context, c Cell) (replayed bool, err error) 
 	}
 	defer ccancel()
 	// The cell gets its own meter, chained to any enclosing cell's, so its
-	// simulated cycles can be recorded with the result.
+	// simulated cycles (and their attribution) can be recorded with the
+	// result.
 	meter := &cellMeter{parent: meterFrom(ctx)}
 	cctx = context.WithValue(cctx, meterKeyType{}, meter)
 
 	if err := runCell(cctx, c); err != nil {
-		return false, err
+		return false, meter.attrSnapshot(), err
 	}
+	attr = meter.attrSnapshot()
 	if key != "" && c.Memo.Save != nil {
 		if res, serr := c.Memo.Save(); serr == nil {
 			if data, jerr := json.Marshal(res); jerr == nil {
 				e.Store.put(memoEntry{Schema: memoSchema, Key: key, CellID: c.ID,
-					Cycles: meter.n.Load(), Data: data})
+					Cycles: meter.n.Load(), Attr: attr, Data: data})
 			}
 		}
 	}
-	return false, nil
+	return false, attr, nil
 }
 
 // runCell isolates a cell panic into an error so one bad cell cannot take
@@ -356,6 +403,38 @@ func (e *Engine) AddCyclesCtx(ctx context.Context, n uint64) {
 	meterFrom(ctx).add(n)
 }
 
+// AddAttrCtx accounts a per-cause cycle breakdown (an obs ledger's Map)
+// against the engine and the running cell's meter chain, pairing with
+// AddCyclesCtx: the map's values should sum to the n passed there, so the
+// engine-wide Attribution conserves against Cycles.
+func (e *Engine) AddAttrCtx(ctx context.Context, a map[string]uint64) {
+	if len(a) == 0 {
+		return
+	}
+	e.mu.Lock()
+	if e.attr == nil {
+		e.attr = make(map[string]uint64, len(a))
+	}
+	for k, v := range a {
+		e.attr[k] += v
+	}
+	e.mu.Unlock()
+	meterFrom(ctx).addAttr(a)
+}
+
+// Attribution returns a copy of the engine-wide per-cause cycle breakdown.
+// When every cell body pairs AddAttrCtx with AddCyclesCtx, the values sum to
+// Cycles() — the bench report checks exactly that.
+func (e *Engine) Attribution() map[string]uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]uint64, len(e.attr))
+	for k, v := range e.attr {
+		out[k] = v
+	}
+	return out
+}
+
 // Cells returns the number of cells executed since construction/reset.
 func (e *Engine) Cells() uint64 { return e.cells.Load() }
 
@@ -382,6 +461,7 @@ func (e *Engine) ResetMetrics() {
 	e.memoMisses.Store(0)
 	e.mu.Lock()
 	e.timings = nil
+	e.attr = nil
 	e.mu.Unlock()
 }
 

@@ -140,8 +140,7 @@ func icacheCost(cfg icache.Config, tr []isa.Word) (missRatio, fetchCycles float6
 	for _, a := range tr {
 		ic.Fetch(a)
 	}
-	mr := ic.Stats.MissRatio()
-	return mr, 1 + float64(ic.Stats.StallCycles)/float64(ic.Stats.Fetches)
+	return ic.Stats.MissRatio(), ic.Stats.FetchCost()
 }
 
 // BranchConditionStats reproduces the condition-code analysis (§Branches):

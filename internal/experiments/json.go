@@ -48,6 +48,23 @@ type BenchDoc struct {
 	MemoMisses           uint64       `json:"memo_misses"`
 	MemoHitRate          float64      `json:"memo_hit_rate"`
 	CellTimings          []CellTiming `json:"cell_timings,omitempty"`
+
+	// Attribution decomposes total_cycles_simulated by cause, summed over
+	// every cell (live or replayed — replays carry their recorded
+	// breakdown). JSON maps marshal with sorted keys, so the field is
+	// deterministic.
+	Attribution map[string]uint64 `json:"attribution,omitempty"`
+	// AttributedCycles is the sum of the attribution values;
+	// AttributionConserved asserts it equals total_cycles_simulated — the
+	// engine-wide form of the per-machine conservation invariant, checked by
+	// the CI bench gate.
+	AttributedCycles     uint64 `json:"attributed_cycles"`
+	AttributionConserved bool   `json:"attribution_conserved"`
+
+	// ObsOverhead, when measured (mipsx-bench -obs-overhead), records the
+	// wall-clock cost of each observation level against the unobserved
+	// machine.
+	ObsOverhead *ObsOverhead `json:"obs_overhead,omitempty"`
 }
 
 // NewBenchDoc assembles a report from rendered tables and the engine's
@@ -66,7 +83,12 @@ func NewBenchDoc(tables []*Table, perExp []time.Duration, wall time.Duration, pa
 		MemoHits:             e.MemoHits(),
 		MemoMisses:           e.MemoMisses(),
 		CellTimings:          e.Timings(),
+		Attribution:          e.Attribution(),
 	}
+	for _, v := range doc.Attribution {
+		doc.AttributedCycles += v
+	}
+	doc.AttributionConserved = doc.AttributedCycles == doc.TotalCyclesSimulated
 	// The rate is derived from the document's own counters — never from the
 	// store — so store-less runs report hits/misses/rate that agree.
 	if lookups := doc.MemoHits + doc.MemoMisses; lookups > 0 {

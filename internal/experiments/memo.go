@@ -44,7 +44,7 @@ const memoSchema = "mipsx-memo/v1"
 // change (cycle accounting, pipeline behaviour, toolchain output), so that
 // on-disk caches recorded by older binaries miss instead of replaying
 // stale results.
-const memoEpoch = 1
+const memoEpoch = 2
 
 // memoEntry is one recorded cell result.
 type memoEntry struct {
@@ -56,8 +56,14 @@ type memoEntry struct {
 	// Cycles is the simulated-cycle count the live run accounted against
 	// the engine, replayed on a hit so hot and cold runs report identical
 	// total_cycles_simulated.
-	Cycles uint64          `json:"cycles"`
-	Data   json.RawMessage `json:"data"`
+	Cycles uint64 `json:"cycles"`
+	// Attr is the per-cause decomposition of Cycles (the obs ledger map the
+	// live run accounted via AddAttrCtx), replayed on a hit so hot and cold
+	// runs report byte-identical attribution. Entries recorded before the
+	// ledger existed can never replay: adding this field came with a
+	// memoEpoch bump.
+	Attr map[string]uint64 `json:"attr,omitempty"`
+	Data json.RawMessage   `json:"data"`
 }
 
 // MemoStore is the content-addressed result cache: an in-memory map,

@@ -1,0 +1,181 @@
+package experiments
+
+// The tentpole invariant of the observability substrate, enforced at full
+// breadth: every benchmark × every Table 1 scheme, every cycle the machine
+// simulates lands in exactly one ledger cause, and the per-unit seams obey
+// the single-counting rule (icache.StallCycles INCLUDES the Ecache refill
+// share, so the two Stats counters must never be summed — the ledger's
+// icache-miss/ecache-ifetch split is the deduplicated truth).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/reorg"
+)
+
+// TestConservationEveryBenchmarkEveryScheme runs the full Table 1 grid and
+// checks conservation plus every seam equation on each run.
+func TestConservationEveryBenchmarkEveryScheme(t *testing.T) {
+	for _, b := range table1Benchmarks() {
+		for _, scheme := range reorg.Table1Schemes() {
+			t.Run(fmt.Sprintf("%s/%s", b.Name, scheme), func(t *testing.T) {
+				im, err := buildCached(b, scheme)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				cfg := defaultConfig()
+				cfg.Pipeline.BranchSlots = scheme.Slots
+				m := core.New(cfg, nil)
+				m.Observe(obs.NewMachineSink())
+				m.Load(im)
+				if _, err := m.Run(runLimit); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if err := m.VerifyAttribution(); err != nil {
+					t.Fatal(err)
+				}
+				if err := m.ObsReport().Check(); err != nil {
+					t.Fatal(err)
+				}
+
+				// The seam rule, written out: the ledger's icache-miss and
+				// ecache-ifetch rows partition icache.StallCycles (which
+				// already contains the Ecache's refill share), so summing the
+				// two Stats counters would double-count the ifetch refills.
+				l := m.Obs.Ledger
+				ic, ec := m.ICache.Stats, m.ECache.Stats
+				miss, ifetch := l.Count(obs.CauseIcacheMiss), l.Count(obs.CauseEcacheIFetch)
+				if miss+ifetch != ic.StallCycles {
+					t.Errorf("icache seam: miss %d + ifetch %d != icache.StallCycles %d", miss, ifetch, ic.StallCycles)
+				}
+				rd, wr := l.Count(obs.CauseEcacheRead), l.Count(obs.CauseEcacheWrite)
+				if ifetch+rd+wr != ec.StallCycles {
+					t.Errorf("ecache seam: ifetch %d + read %d + write %d != ecache.StallCycles %d",
+						ifetch, rd, wr, ec.StallCycles)
+				}
+				// The naive double-count (icache + ecache stalls) exceeds the
+				// ledger's stall total by exactly the shared ifetch share.
+				ledgerStalls := miss + ifetch + rd + wr
+				if ic.StallCycles+ec.StallCycles != ledgerStalls+ifetch {
+					t.Errorf("double-count rule: icache %d + ecache %d != ledger stalls %d + shared %d",
+						ic.StallCycles, ec.StallCycles, ledgerStalls, ifetch)
+				}
+			})
+		}
+	}
+}
+
+// TestMemoReplaysAttributionByteIdentical records a cell cold and replays it
+// hot from the same store, requiring the replayed attribution — per cell,
+// engine-wide, and inside the cached RunResult — to be byte-identical to the
+// live run's.
+func TestMemoReplaysAttributionByteIdentical(t *testing.T) {
+	store, err := NewMemoStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := table1Benchmarks()[0]
+	scheme := reorg.Default()
+	// Cell bodies account cycles against the package default engine;
+	// install ours for the test's duration.
+	old := DefaultEngine()
+	defer defaultEngine.Store(old)
+
+	runOnce := func() (*Engine, RunResult, CellTiming) {
+		e := &Engine{Record: true, Store: store}
+		defaultEngine.Store(e)
+		var out RunResult
+		cell := benchCell("memo-attr/"+b.Name, b, scheme, false, defaultConfig(), &out)
+		if err := e.Run(context.Background(), []Cell{cell}); err != nil {
+			t.Fatal(err)
+		}
+		tm := e.Timings()
+		if len(tm) != 1 {
+			t.Fatalf("want 1 timing, got %d", len(tm))
+		}
+		return e, out, tm[0]
+	}
+
+	eCold, outCold, tmCold := runOnce()
+	eHot, outHot, tmHot := runOnce()
+	if tmCold.Memo || !tmHot.Memo {
+		t.Fatalf("memo flags: cold=%v hot=%v (want false/true)", tmCold.Memo, tmHot.Memo)
+	}
+
+	mustJSON := func(v any) string {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if c, h := mustJSON(tmCold.Attribution), mustJSON(tmHot.Attribution); c != h {
+		t.Errorf("per-cell attribution differs:\ncold %s\nhot  %s", c, h)
+	}
+	if c, h := mustJSON(eCold.Attribution()), mustJSON(eHot.Attribution()); c != h {
+		t.Errorf("engine attribution differs:\ncold %s\nhot  %s", c, h)
+	}
+	if c, h := mustJSON(outCold.Obs), mustJSON(outHot.Obs); c != h {
+		t.Errorf("cached RunResult report differs:\ncold %s\nhot  %s", c, h)
+	}
+	if eCold.Cycles() != eHot.Cycles() {
+		t.Errorf("cycles differ: cold %d hot %d", eCold.Cycles(), eHot.Cycles())
+	}
+	// Both runs conserve: attribution sums to the accounted cycles.
+	for name, e := range map[string]*Engine{"cold": eCold, "hot": eHot} {
+		var sum uint64
+		for _, v := range e.Attribution() {
+			sum += v
+		}
+		if sum != e.Cycles() {
+			t.Errorf("%s: attribution sums to %d, engine accounted %d", name, sum, e.Cycles())
+		}
+	}
+	if len(tmHot.Attribution) == 0 {
+		t.Error("hot replay carries no attribution")
+	}
+}
+
+// TestBenchDocConservation asserts the report-level invariant the CI bench
+// gate greps for.
+func TestBenchDocConservation(t *testing.T) {
+	old := DefaultEngine()
+	defer defaultEngine.Store(old)
+	e := &Engine{Record: true}
+	defaultEngine.Store(e)
+	var out RunResult
+	cell := benchCell("doc-attr", table1Benchmarks()[0], reorg.Default(), false, defaultConfig(), &out)
+	if err := e.Run(context.Background(), []Cell{cell}); err != nil {
+		t.Fatal(err)
+	}
+	doc := NewBenchDoc(nil, nil, 0, 1, true, e)
+	if !doc.AttributionConserved {
+		t.Fatalf("doc not conserved: attributed %d, simulated %d", doc.AttributedCycles, doc.TotalCyclesSimulated)
+	}
+	if doc.AttributedCycles == 0 {
+		t.Fatal("no cycles attributed")
+	}
+	if len(doc.Attribution) == 0 {
+		t.Fatal("empty attribution map")
+	}
+}
+
+// TestMeasureObsOverhead smoke-tests the overhead harness at a tiny
+// iteration count (the real numbers are recorded by mipsx-bench).
+func TestMeasureObsOverhead(t *testing.T) {
+	o, err := MeasureObsOverhead(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.BaselineMS <= 0 || o.LedgerMS <= 0 || o.TracerMS <= 0 {
+		t.Fatalf("non-positive timing: %+v", o)
+	}
+	if o.Benchmark == "" || o.Iterations != 2 {
+		t.Fatalf("bad metadata: %+v", o)
+	}
+}

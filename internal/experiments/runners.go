@@ -10,6 +10,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/reorg"
 	"repro/internal/tinyc"
 	"repro/internal/trace"
@@ -39,26 +40,39 @@ func defaultConfig() core.Config {
 // machine fault (runaway PC, and whatever fault classes the core grows)
 // returns immediately with its own message instead of burning the rest of
 // the 50M-cycle budget and surfacing as a bogus timeout.
+//
+// Every machine gets a ledger-only observability sink (unless the caller
+// attached its own, e.g. with a tracer): the per-cause breakdown is
+// accounted next to the cycles on every exit path, and on a successful halt
+// the attribution conservation invariants are verified — so every benchmark
+// a table runs is also a standing conservation check.
 func runMachine(ctx context.Context, m *core.Machine) error {
+	if m.Obs == nil {
+		m.Observe(obs.NewMachineSink())
+	}
 	e := DefaultEngine()
 	var total uint64
+	account := func() {
+		e.AddCyclesCtx(ctx, total)
+		e.AddAttrCtx(ctx, m.Obs.Ledger.Map())
+	}
 	for {
 		if err := ctx.Err(); err != nil {
-			e.AddCyclesCtx(ctx, total)
+			account()
 			return err
 		}
 		n, err := m.Run(runChunk)
 		total += n
 		if err == nil {
-			e.AddCyclesCtx(ctx, total)
-			return nil
+			account()
+			return m.VerifyAttribution()
 		}
 		if !errors.Is(err, core.ErrNotHalted) {
-			e.AddCyclesCtx(ctx, total)
+			account()
 			return fmt.Errorf("%w (%d cycles simulated)", err, total)
 		}
 		if total >= runLimit {
-			e.AddCyclesCtx(ctx, total)
+			account()
 			return fmt.Errorf("no halt within %d cycles (pc %#x)", runLimit, m.CPU.PC())
 		}
 	}
@@ -69,6 +83,9 @@ func runMachine(ctx context.Context, m *core.Machine) error {
 // (vaxlike.Run counts instructions against an absolute limit, so it is
 // resumable the same way Machine.Run is).
 func runVAX(ctx context.Context, vm *vaxlike.Machine, maxInstr uint64) error {
+	if vm.Led == nil {
+		vm.Observe(vaxlike.NewVAXLedger())
+	}
 	for limit := uint64(runChunk); ; limit += runChunk {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -78,8 +95,10 @@ func runVAX(ctx context.Context, vm *vaxlike.Machine, maxInstr uint64) error {
 		}
 		err := vm.Run(limit)
 		if err == nil {
-			DefaultEngine().AddCyclesCtx(ctx, vm.Stats.Cycles)
-			return nil
+			e := DefaultEngine()
+			e.AddCyclesCtx(ctx, vm.Stats.Cycles)
+			e.AddAttrCtx(ctx, vm.Led.Map())
+			return vm.VerifyAttribution()
 		}
 		// A real step error leaves the machine short of the limit; only a
 		// limit hit below the cap means "keep going".
@@ -187,6 +206,10 @@ type RunResult struct {
 	// SquashEvents counts squash-FSM triggers by cause (E8's shared-FSM
 	// accounting).
 	SquashEvents [2]uint64 `json:"squash_events"`
+	// Obs is the machine's cycle-attribution report (conservation-checked by
+	// runMachine before the result is built). Part of the cached cell result,
+	// so a memo replay carries the same breakdown as the live run.
+	Obs *obs.Report `json:"obs,omitempty"`
 }
 
 // machineResult snapshots everything the experiments read from a finished
@@ -198,6 +221,7 @@ func machineResult(m *core.Machine) RunResult {
 		Output:       m.Output(),
 		PSW:          m.CPU.PSW(),
 		SquashEvents: m.CPU.Squash.Events,
+		Obs:          m.ObsReport(),
 	}
 	for i := range r.Regs {
 		r.Regs[i] = m.CPU.Reg(isa.Reg(i))

@@ -17,8 +17,11 @@
 package icache
 
 import (
+	"fmt"
+
 	"repro/internal/ecache"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/predecode"
 )
 
@@ -58,9 +61,16 @@ func (c Config) SizeWords() int { return c.Sets * c.Ways * c.BlockWords }
 
 // Stats accumulates Icache behaviour.
 type Stats struct {
-	Fetches      uint64
-	Misses       uint64
-	StallCycles  uint64 // Icache service stalls only (Ecache stalls counted there)
+	Fetches uint64
+	Misses  uint64
+	// StallCycles is the TOTAL fetch stall: the Icache's own miss service
+	// (MissPenalty per miss) plus the backing Ecache's refill stalls, which
+	// serviceMiss folds in. The Ecache's own Stats.StallCycles counts those
+	// refill cycles too, so the two StallCycles fields overlap and must
+	// never be summed; the obs ledger keeps them single-counted by
+	// attributing the refill portion to the ecache-ifetch cause (see the
+	// conservation test in internal/experiments).
+	StallCycles  uint64
 	WordsFetched uint64 // words brought on-chip (bus pin traffic)
 }
 
@@ -70,6 +80,16 @@ func (s Stats) MissRatio() float64 {
 		return 0
 	}
 	return float64(s.Misses) / float64(s.Fetches)
+}
+
+// FetchCost is cycles per fetch (1 + stalls amortized over fetches). Guarded:
+// zero fetches cost zero, not NaN — keep every divide on these stats behind a
+// helper like this one.
+func (s Stats) FetchCost() float64 {
+	if s.Fetches == 0 {
+		return 0
+	}
+	return 1 + float64(s.StallCycles)/float64(s.Fetches)
 }
 
 type block struct {
@@ -104,6 +124,12 @@ type Cache struct {
 	// pre is the decoded-instruction side table behind FetchDecoded
 	// (nil when Config.Predecode is off).
 	pre *predecode.Table
+
+	// Obs, when non-nil, receives miss-service cycle attribution and miss
+	// spans. serviceMiss charges its own MissPenalty to icache-miss and
+	// brackets the backing reads so the Ecache's refill charges land on
+	// ecache-ifetch (instruction side) instead of ecache-read (data side).
+	Obs *obs.Sink
 
 	// isCoprocInstr classifies an instruction word for NoCacheCoproc mode.
 	isCoprocInstr func(isa.Word) bool
@@ -238,6 +264,13 @@ func (c *Cache) serviceMiss(a isa.Word) (isa.Word, int) {
 	c.Stats.Misses++
 	stall := c.cfg.MissPenalty
 	c.FSM.Run(c.cfg.MissPenalty)
+	o := c.Obs
+	var start uint64
+	if o != nil {
+		o.Ledger.Add(obs.CauseIcacheMiss, uint64(c.cfg.MissPenalty))
+		o.Ledger.BeginIFetch()
+		start = o.Cycle()
+	}
 	var word isa.Word
 	for i := 0; i < c.cfg.FetchBack; i++ {
 		w, estall := c.Backing.Read(a + isa.Word(i))
@@ -249,6 +282,13 @@ func (c *Cache) serviceMiss(a isa.Word) (isa.Word, int) {
 		c.install(a+isa.Word(i), w)
 	}
 	c.Stats.StallCycles += uint64(stall)
+	if o != nil {
+		o.Ledger.EndIFetch()
+		if o.Tracer != nil {
+			o.Tracer.Span(obs.TrackIcache, "cache", "imiss", start, uint64(stall),
+				map[string]string{"addr": fmt.Sprintf("%#x", uint32(a))})
+		}
+	}
 	return word, stall
 }
 

@@ -150,19 +150,28 @@ func DefaultBus() *Bus {
 // queueing delay behind other nodes on a shared bus), and accounts the
 // traffic.
 func (b *Bus) TransferCost(n int) int {
-	c := b.Latency + n*b.PerWord
+	c, _ := b.TransferCostWait(n)
+	return c
+}
+
+// TransferCostWait is TransferCost, additionally reporting how much of the
+// cost was arbitration queueing behind other nodes (0 on a private bus).
+// Callers that attribute stall cycles use the split to separate true memory
+// transfer time from multiprocessor bus contention.
+func (b *Bus) TransferCostWait(n int) (cost, wait int) {
+	cost = b.Latency + n*b.PerWord
 	if b.Arb != nil {
 		now := b.Now()
 		if now != b.lastNow {
 			b.lastNow = now
 			b.accum = 0
 		}
-		wait := b.Arb.Acquire(now+b.accum, c)
-		b.accum += uint64(wait + c)
-		c += wait
+		wait = b.Arb.Acquire(now+b.accum, cost)
+		b.accum += uint64(wait + cost)
+		cost += wait
 	}
-	b.BusyCycles += uint64(c)
+	b.BusyCycles += uint64(cost)
 	b.Transfers++
 	b.WordsCarried += uint64(n)
-	return c
+	return cost, wait
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/reorg"
 	"repro/internal/tinyc"
 )
@@ -66,6 +67,36 @@ func (c *Cluster) LoadPrograms(srcs []string, scheme reorg.Scheme) error {
 		base = (end + 63) &^ 63 // keep nodes' code on distinct Icache blocks
 	}
 	return nil
+}
+
+// Observe attaches a fresh ledger-only observability sink to every node, so
+// a cluster run yields per-node cycle attribution (with shared-bus
+// arbitration waits carved out to the bus-wait cause). Call before Run.
+func (c *Cluster) Observe() {
+	for _, n := range c.Nodes {
+		n.Observe(obs.NewMachineSink())
+	}
+}
+
+// VerifyAttribution checks every observed node's conservation invariant and
+// returns the first violation (nil for unobserved nodes).
+func (c *Cluster) VerifyAttribution() error {
+	for i, n := range c.Nodes {
+		if err := n.VerifyAttribution(); err != nil {
+			return fmt.Errorf("multi: node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ObsReports snapshots each observed node's attribution report (entries are
+// nil for unobserved nodes).
+func (c *Cluster) ObsReports() []*obs.Report {
+	out := make([]*obs.Report, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.ObsReport()
+	}
+	return out
 }
 
 // Run advances the cluster until every node halts or a node exceeds the

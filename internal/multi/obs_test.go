@@ -1,0 +1,53 @@
+package multi
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/reorg"
+)
+
+// TestClusterAttributionConserves runs a contended shared-bus cluster with
+// per-node ledgers: conservation must hold on every node, and the bus
+// arbitration waits must surface under the bus-wait cause (the seam
+// equations degrade to bounded inequalities exactly then — VerifyAttribution
+// checks both regimes).
+func TestClusterAttributionConserves(t *testing.T) {
+	srcs, wants := workload(4)
+	c := New(4, core.DefaultConfig())
+	if err := c.LoadPrograms(srcs, reorg.Default()); err != nil {
+		t.Fatal(err)
+	}
+	c.Observe()
+	if err := c.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyAttribution(); err != nil {
+		t.Fatal(err)
+	}
+	var busWait uint64
+	for i, n := range c.Nodes {
+		if got, want := n.Obs.Ledger.Total(), n.CPU.Stats.Cycles; got != want {
+			t.Errorf("node %d: ledger %d != cycles %d", i, got, want)
+		}
+		if out := c.Outputs()[i]; out != wants[i] {
+			t.Errorf("node %d: wrong output %q", i, out)
+		}
+		busWait += n.Obs.Ledger.Count(obs.CauseBusWait)
+	}
+	if s := c.Stats(); s.BusWaitCycles == 0 {
+		t.Skip("no bus contention in this configuration; bus-wait attribution untestable")
+	} else if busWait == 0 {
+		t.Errorf("arbiter queued %d wait cycles but no node attributed any to bus-wait", s.BusWaitCycles)
+	}
+	reports := c.ObsReports()
+	if len(reports) != 4 {
+		t.Fatalf("want 4 reports, got %d", len(reports))
+	}
+	for i, r := range reports {
+		if err := r.Check(); err != nil {
+			t.Errorf("node %d report: %v", i, err)
+		}
+	}
+}

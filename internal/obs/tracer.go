@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace track (thread) ids. Pipeline instruction occupancy spans rotate over
+// PipeLanes tracks so overlapping in-flight instructions (at most one per
+// stage) render side by side in Perfetto; the cache, coprocessor and marker
+// tracks carry miss-service spans and squash/exception instants.
+const (
+	TrackPipeBase = 1 // lanes TrackPipeBase .. TrackPipeBase+PipeLanes-1
+	PipeLanes     = 5 // one per pipeline stage's worth of in-flight overlap
+	TrackIcache   = TrackPipeBase + PipeLanes
+	TrackEcache   = TrackIcache + 1
+	TrackCoproc   = TrackEcache + 1
+	TrackMarks    = TrackCoproc + 1
+)
+
+// trackNames label the fixed tracks via trace metadata events.
+var trackNames = map[int]string{
+	TrackIcache: "icache",
+	TrackEcache: "ecache",
+	TrackCoproc: "coproc",
+	TrackMarks:  "marks",
+}
+
+// Event is one Chrome trace-event / Perfetto JSON entry. Field order is the
+// marshal order, fixed so trace files are byte-deterministic; ts/dur are in
+// microseconds per the format, which we map 1:1 to simulated cycles.
+type Event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   uint64            `json:"ts"`
+	Dur  uint64            `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`    // instant scope ("t" = thread)
+	Args map[string]string `json:"args,omitempty"` // json sorts keys: deterministic
+}
+
+// Tracer buffers structured events for one machine run and serializes them
+// as Chrome trace-event JSON (the "JSON Array Format" with a traceEvents
+// wrapper), loadable by chrome://tracing and ui.perfetto.dev. It is bounded:
+// once MaxEvents is reached further events are counted as dropped rather
+// than buffered, so tracing a long run cannot exhaust memory. Methods are
+// nil-safe; a nil *Tracer records nothing.
+type Tracer struct {
+	// MaxEvents bounds the buffer; 0 means DefaultMaxEvents.
+	MaxEvents int
+	// Instrs enables per-instruction pipeline occupancy spans (one span per
+	// fetched instruction from IF to WB). Off by default: it is the one
+	// event class whose volume scales with instructions rather than misses.
+	Instrs bool
+
+	events  []Event
+	dropped uint64
+	lane    uint64
+}
+
+// DefaultMaxEvents bounds a tracer whose MaxEvents is unset (~1M events).
+const DefaultMaxEvents = 1 << 20
+
+func (t *Tracer) add(ev Event) {
+	limit := t.MaxEvents
+	if limit <= 0 {
+		limit = DefaultMaxEvents
+	}
+	if len(t.events) >= limit {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Span records a complete event (ph "X") of dur cycles starting at ts.
+func (t *Tracer) Span(tid int, cat, name string, ts, dur uint64, args map[string]string) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: dur, Pid: 1, Tid: tid, Args: args})
+}
+
+// Instant records a thread-scoped instant event (ph "i") at ts.
+func (t *Tracer) Instant(tid int, cat, name string, ts uint64, args map[string]string) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Name: name, Cat: cat, Ph: "i", Ts: ts, Pid: 1, Tid: tid, S: "t"})
+	if args != nil {
+		t.events[len(t.events)-1].Args = args
+	}
+}
+
+// PipeSpan records one instruction's pipeline occupancy from fetch to
+// retirement, rotating across PipeLanes tracks so overlapping in-flight
+// instructions do not nest.
+func (t *Tracer) PipeSpan(name string, start, end uint64, args map[string]string) {
+	if t == nil {
+		return
+	}
+	tid := TrackPipeBase + int(t.lane%PipeLanes)
+	t.lane++
+	dur := uint64(0)
+	if end > start {
+		dur = end - start
+	}
+	t.add(Event{Name: name, Cat: "pipe", Ph: "X", Ts: start, Dur: dur, Pid: 1, Tid: tid, Args: args})
+}
+
+// Len reports the number of buffered events; Dropped the number rejected
+// after the buffer filled.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped reports events rejected after the buffer filled.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// WriteJSON serializes the trace in Chrome trace-event JSON object format:
+// metadata events naming the process and tracks, then every buffered event
+// in record order. Output is deterministic for a deterministic simulation.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	enc := func(ev any, last bool) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !last {
+			b = append(b, ',')
+		}
+		b = append(b, '\n')
+		_, err = w.Write(b)
+		return err
+	}
+	type meta struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	}
+	metas := []meta{{Name: "process_name", Ph: "M", Pid: 1, Tid: 0, Args: map[string]string{"name": "mipsx-sim"}}}
+	for lane := 0; lane < PipeLanes; lane++ {
+		metas = append(metas, meta{Name: "thread_name", Ph: "M", Pid: 1, Tid: TrackPipeBase + lane,
+			Args: map[string]string{"name": fmt.Sprintf("pipe-%d", lane)}})
+	}
+	for _, tid := range []int{TrackIcache, TrackEcache, TrackCoproc, TrackMarks} {
+		metas = append(metas, meta{Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]string{"name": trackNames[tid]}})
+	}
+	n := 0
+	if t != nil {
+		n = len(t.events)
+	}
+	for i, m := range metas {
+		if err := enc(m, n == 0 && i == len(metas)-1); err != nil {
+			return err
+		}
+	}
+	if t != nil {
+		for i := range t.events {
+			if err := enc(&t.events[i], i == n-1); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/coproc"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // InstrPort supplies instruction words; implemented by icache.Cache.
@@ -175,6 +176,10 @@ type slot struct {
 	// stickyOvf marks an overflow under the sticky-overflow ablation; the
 	// PSW bit commits with the instruction at WB.
 	stickyOvf bool
+
+	// fetC is the cycle the slot was fetched, stamped only when the tracer
+	// records per-instruction occupancy spans (Tracer.Instrs).
+	fetC uint64
 }
 
 func (s *slot) noop() bool { return s.sqNoop || s.excNoop }
@@ -225,6 +230,14 @@ type CPU struct {
 	// BranchTrace, when non-nil, receives every resolved conditional branch
 	// (used for profiling and the branch-prediction experiments).
 	BranchTrace func(pc isa.Word, in isa.Instruction, taken bool)
+
+	// Obs, when non-nil, receives cycle attribution and trace events. The
+	// pipeline charges exactly one base cause per Step (from the slot
+	// retiring at WB) plus coprocessor busy stalls; the instruction and data
+	// caches charge their own stall causes, so conservation
+	// (sum(causes) == Stats.Cycles) holds when the memory ports share this
+	// sink — core.Machine.Observe wires that up.
+	Obs *obs.Sink
 }
 
 // New builds a CPU with the given configuration and memory ports.
@@ -366,6 +379,14 @@ func (c *CPU) Step() int {
 		c.takeException(c.lMEM.excCause)
 	}
 
+	// ---- Cycle attribution: every Step consumes one base cycle, owned by
+	// whatever occupies the WB latch right now (the slot commitWB is about
+	// to clear). Stall cycles are charged separately by the unit that
+	// creates them, so sum(ledger) tracks Stats.Cycles exactly.
+	if o := c.Obs; o != nil {
+		c.attributeWB(o)
+	}
+
 	// ---- WB: the only pipestage that changes machine state.
 	c.commitWB()
 
@@ -404,6 +425,9 @@ func (c *CPU) Step() int {
 		c.Stats.IcacheStalls += uint64(s)
 		c.Stats.Fetches++
 		newIF = slot{valid: true, pc: c.pc, in: in}
+		if o := c.Obs; o != nil && o.Tracer != nil && o.Tracer.Instrs {
+			newIF.fetC = c.Stats.Cycles
+		}
 	}
 
 	// ---- Apply squash marks to the shadow instructions.
@@ -415,6 +439,9 @@ func (c *CPU) Step() int {
 			newIF.sqNoop = true
 		}
 		c.Squash.Trigger(CauseBranch, c.Cfg.BranchSlots)
+		if o := c.Obs; o != nil && o.Tracer != nil {
+			o.Tracer.Instant(obs.TrackMarks, "ctl", "branch-squash", o.Cycle(), nil)
+		}
 	}
 
 	// ---- Table 1 accounting: a branch that resolved without squashing
@@ -459,6 +486,39 @@ func (c *CPU) Step() int {
 	return 1 + stall
 }
 
+// attributeWB charges this Step's base cycle to the cause that owns the WB
+// latch: an empty latch is pipeline fill/drain, a squash-annulled slot is a
+// wasted branch-shadow cycle, an exception-killed slot is exception entry
+// cost, a retiring explicit no-op is reorganizer padding, and anything else
+// is useful execution. Exactly one of these fires per Step, which is what
+// makes the ledger's conservation invariant exact. It also closes the
+// per-instruction occupancy span when the tracer records them.
+func (c *CPU) attributeWB(o *obs.Sink) {
+	s := &c.lWB
+	switch {
+	case !s.valid:
+		o.Ledger.Add(obs.CausePipeFill, 1)
+	case s.sqNoop:
+		o.Ledger.Add(obs.CauseSquashAnnul, 1)
+	case s.excNoop:
+		o.Ledger.Add(obs.CauseExceptionKill, 1)
+	case s.in.IsNop():
+		o.Ledger.Add(obs.CauseNop, 1)
+	default:
+		o.Ledger.Add(obs.CauseExecute, 1)
+	}
+	if t := o.Tracer; t != nil && t.Instrs && s.valid {
+		args := map[string]string{"pc": fmt.Sprintf("%#x", uint32(s.pc))}
+		switch {
+		case s.sqNoop:
+			args["annulled"] = "squash"
+		case s.excNoop:
+			args["annulled"] = "exception"
+		}
+		t.PipeSpan(s.in.String(), s.fetC, c.Stats.Cycles, args)
+	}
+}
+
 // takeException implements exception entry: Exception no-ops MEM and ALU,
 // Squash no-ops RF and IF (the IF-stage instruction is simply never fetched
 // again — its PC is not in the chain because fetch restarts at the handler),
@@ -484,6 +544,10 @@ func (c *CPU) takeException(cause isa.PSW) {
 	kill(&c.lALU)
 	kill(&c.lRF)
 	c.Squash.Trigger(CauseException, 2)
+	if o := c.Obs; o != nil && o.Tracer != nil {
+		o.Tracer.Instant(obs.TrackMarks, "ctl", "exception", o.Cycle(),
+			map[string]string{"cause": fmt.Sprintf("%#x", uint32(cause))})
+	}
 
 	// chain already holds [MEM.pc, ALU.pc, RF.pc] from last cycle's shift;
 	// the new PSW freezes it.
@@ -613,6 +677,12 @@ func (c *CPU) stageMEM() int {
 		}
 		stall = st
 		c.Stats.CoprocStalls += uint64(st)
+		if o := c.Obs; o != nil && st > 0 {
+			o.Ledger.Add(obs.CauseCoprocBusy, uint64(st))
+			if o.Tracer != nil {
+				o.Tracer.Span(obs.TrackCoproc, "coproc", "busy-wait", o.Cycle(), uint64(st), nil)
+			}
+		}
 	}
 	return stall
 }

@@ -1,0 +1,78 @@
+package vaxlike
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestVAXAttributionConserves exercises every attribution arm (branch,
+// call/return, multiply/divide microcode, I/O, plain ops) and checks that
+// the per-cause decomposition sums exactly to the machine's cycle count.
+func TestVAXAttributionConserves(t *testing.T) {
+	var sb strings.Builder
+	m := New([]Instr{
+		{Op: MOV, Src: Lit(7), Dst: Reg(1)},
+		{Op: MUL, Src: Lit(3), Dst: Reg(1)},
+		{Op: DIV, Src: Lit(2), Dst: Reg(1)},
+		{Op: CMP, Src: Lit(10), Dst: Reg(1)},
+		{Op: BLT, Target: 6},
+		{Op: ADD, Src: Lit(1), Dst: Reg(1)},
+		{Op: JSR, Target: 9},
+		{Op: PRNT, Src: Reg(1)},
+		{Op: HALT},
+		{Op: ADD, Src: Lit(100), Dst: Reg(1)}, // subroutine
+		{Op: RSB},
+	}, &sb)
+	m.Observe(NewVAXLedger())
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := m.VerifyAttribution(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Led.Total(); got != m.Stats.Cycles {
+		t.Fatalf("ledger %d != cycles %d", got, m.Stats.Cycles)
+	}
+	for _, cause := range []obs.Cause{obs.VAXDecodeExecute, obs.VAXOperand, obs.VAXMicrocode,
+		obs.VAXBranch, obs.VAXCallReturn, obs.VAXIO} {
+		if m.Led.Count(cause) == 0 {
+			t.Errorf("cause %s never charged by this workload", obs.VAXCauseNames[cause])
+		}
+	}
+	// Corruption must be caught.
+	m.Led.Add(obs.VAXMicrocode, 1)
+	if err := m.VerifyAttribution(); err == nil {
+		t.Fatal("tampered ledger passed VerifyAttribution")
+	}
+}
+
+// TestVAXUnobservedUnchanged runs the same program with and without a
+// ledger: attribution must not perturb the cost model.
+func TestVAXUnobservedUnchanged(t *testing.T) {
+	prog := func() []Instr {
+		return []Instr{
+			{Op: MOV, Src: Lit(5), Dst: Reg(1)},
+			{Op: MUL, Src: Lit(4), Dst: Reg(1)},
+			{Op: PRNT, Src: Reg(1)},
+			{Op: HALT},
+		}
+	}
+	var a, b strings.Builder
+	m1 := New(prog(), &a)
+	m2 := New(prog(), &b)
+	m2.Observe(NewVAXLedger())
+	if err := m1.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m1.Stats != m2.Stats {
+		t.Fatalf("stats changed under observation: %+v vs %+v", m1.Stats, m2.Stats)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("output changed under observation")
+	}
+}

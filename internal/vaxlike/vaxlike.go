@@ -24,6 +24,8 @@ package vaxlike
 import (
 	"fmt"
 	"io"
+
+	"repro/internal/obs"
 )
 
 // ClockMHz is the VAX 11/780 clock rate.
@@ -211,6 +213,13 @@ type Machine struct {
 	Out    io.Writer
 	Halted bool
 	Stats  Stats
+
+	// Led, when non-nil, receives per-cause cycle attribution under the
+	// obs.VAXCauseNames schema, decomposing the microcoded cost model
+	// (decode/execute base, operand-mode microcycles, long microcode
+	// sequences, branch, call/return, I/O). Attach with Observe; the
+	// conservation invariant sum(causes) == Stats.Cycles holds exactly.
+	Led *obs.Ledger
 }
 
 // New builds a machine over the code with the stack pointer initialized.
@@ -387,7 +396,61 @@ func (m *Machine) Step() error {
 		return fmt.Errorf("vaxlike: bad opcode %d", in.Op)
 	}
 	m.Stats.Cycles += uint64(cost)
+	if m.Led != nil {
+		m.attribute(in, cost)
+	}
 	return nil
+}
+
+// NewVAXLedger builds a ledger with the VAX-like cause schema.
+func NewVAXLedger() *obs.Ledger { return obs.NewLedger(obs.VAXCauseNames) }
+
+// Observe attaches a cycle-attribution ledger (nil detaches). Attach before
+// the first Step so the ledger covers the whole run.
+func (m *Machine) Observe(led *obs.Ledger) { m.Led = led }
+
+// VerifyAttribution checks the conservation invariant on the attached
+// ledger; trivially nil without one.
+func (m *Machine) VerifyAttribution() error {
+	if m.Led == nil {
+		return nil
+	}
+	if got := m.Led.Total(); got != m.Stats.Cycles {
+		return fmt.Errorf("vaxlike: attribution conservation violated: ledger %d != cycles %d", got, m.Stats.Cycles)
+	}
+	return nil
+}
+
+// attribute decomposes one instruction's cycle cost into the ledger causes.
+// Each arm assigns the opcode's fixed portions and gives the remainder to
+// the operand cause, so the decomposition sums to cost exactly by
+// construction — the cost model can be retuned without breaking
+// conservation.
+func (m *Machine) attribute(in Instr, cost int) {
+	led := m.Led
+	operand := func(fixed int) { led.Add(obs.VAXOperand, uint64(cost-fixed)) }
+	switch in.Op {
+	case BEQ, BNE, BLT, BLE, BGT, BGE, BR:
+		led.Add(obs.VAXBranch, costBranch)
+		operand(costBranch)
+	case JSR, RSB:
+		led.Add(obs.VAXCallReturn, uint64(cost))
+	case MUL:
+		led.Add(obs.VAXDecodeExecute, costBase)
+		led.Add(obs.VAXMicrocode, costMul)
+		operand(costBase + costMul)
+	case DIV, MOD:
+		led.Add(obs.VAXDecodeExecute, costBase)
+		led.Add(obs.VAXMicrocode, costDiv)
+		operand(costBase + costDiv)
+	case PRNT, PUTC:
+		led.Add(obs.VAXDecodeExecute, costBase)
+		led.Add(obs.VAXIO, 2)
+		operand(costBase + 2)
+	default:
+		led.Add(obs.VAXDecodeExecute, costBase)
+		operand(costBase)
+	}
 }
 
 // Run executes until HALT or the instruction limit.
