@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet race lint-suite fuzz bench bench-hot trace-sample
+.PHONY: check build test vet vet-extra vulncheck race lint-suite cost-gate fuzz bench bench-hot trace-sample
 
-check: vet build test race lint-suite
+check: vet vet-extra vulncheck build test race lint-suite cost-gate
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,29 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Extra analyzers beyond the stock vet set. Their tool binaries are not part
+# of the Go distribution, so they run only when installed (CI installs them;
+# offline machines skip with a note):
+#   go install golang.org/x/tools/go/analysis/passes/nilness/cmd/nilness@latest
+#   go install golang.org/x/tools/go/analysis/passes/shadow/cmd/shadow@latest
+# nilness is a hard gate; shadow is advisory (its heuristic flags idiomatic
+# err reuse), so its findings print without failing the build.
+vet-extra:
+	@if command -v nilness >/dev/null 2>&1; then \
+		$(GO) vet -vettool=$$(command -v nilness) ./...; \
+	else echo "vet-extra: nilness not installed; skipping"; fi
+	@if command -v shadow >/dev/null 2>&1; then \
+		$(GO) vet -vettool=$$(command -v shadow) ./... || true; \
+	else echo "vet-extra: shadow not installed; skipping"; fi
+
+# Known-vulnerability scan over the module graph and reachable call paths.
+# Needs network for the vuln DB, so it runs where govulncheck is installed
+# (CI: go install golang.org/x/vuln/cmd/govulncheck@latest).
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else echo "vulncheck: govulncheck not installed; skipping"; fi
+
 race:
 	$(GO) test -race ./...
 
@@ -23,6 +46,13 @@ race:
 # scheme — the software-interlock invariant of the whole toolchain.
 lint-suite:
 	$(GO) run ./cmd/mipsx-lint -suite
+
+# Static-vs-dynamic differential gate: for every benchmark × Table 1 scheme
+# the static cycle-cost model's prediction must EXACTLY equal the
+# attribution ledger's execute/nop/squash-annul base causes. Runs inside
+# `make test` too; the named target keeps the invariant visible in CI.
+cost-gate:
+	$(GO) test ./internal/experiments -run TestStaticCostMatchesLedgerEveryBenchmarkEveryScheme -count=1
 
 # Longer exploration of the compile → reorganize → lint invariant.
 fuzz:

@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/icache"
 	"repro/internal/isa"
+	"repro/internal/lint"
 	"repro/internal/mem"
 	"repro/internal/reorg"
 	"repro/internal/tinyc"
@@ -222,6 +223,46 @@ func BenchmarkCompileAndReorganize(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkLintCheckImage measures static-verifier throughput on the
+// largest compiled benchmark: every hazard rule plus the scheduling-quality
+// warnings over the full delay-slot-aware CFG.
+func BenchmarkLintCheckImage(b *testing.B) {
+	im := builtBenchmark(b, "quicksort")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := lint.CheckImage(im, lint.Config{Slots: 2}); rep.HasErrors() {
+			b.Fatalf("suite image has errors:\n%s", rep)
+		}
+	}
+}
+
+// BenchmarkLintAnalyzeCost measures the static cycle-cost analyzer: block
+// partitioning plus per-block base-cycle costing on the same graph.
+func BenchmarkLintAnalyzeCost(b *testing.B) {
+	im := builtBenchmark(b, "quicksort")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := lint.AnalyzeCost(im, lint.Config{Slots: 2}); !rep.Exact() {
+			b.Fatalf("suite image unmodeled: %v", rep.Unmodeled)
+		}
+	}
+}
+
+func builtBenchmark(b *testing.B, name string) *asm.Image {
+	b.Helper()
+	for _, bench := range tinyc.Benchmarks() {
+		if bench.Name == name {
+			im, err := tinyc.Build(bench.Source, reorg.Default(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return im
+		}
+	}
+	b.Fatalf("no benchmark %q", name)
+	return nil
 }
 
 // BenchmarkTraceSynthesis measures the synthetic trace generator.

@@ -2,7 +2,10 @@
 // a machine with no hardware interlocks: it builds a delay-slot-aware CFG
 // over the assembled program and reports every load-use, delay-slot,
 // special-register and coprocessor timing violation (see internal/lint and
-// DESIGN.md §8 for the rules).
+// DESIGN.md §8 for the rules). It also carries the static cycle-cost
+// analyzer: per-block base-cycle costs on the same graph, optionally rolled
+// up with a measured profile (mipsx-run -profile-out) into whole-program
+// predictions that match the simulator's attribution ledger exactly.
 //
 // Usage:
 //
@@ -10,6 +13,9 @@
 //	mipsx-lint -reorg prog.s               # reorganize first, then lint
 //	mipsx-lint -tiny prog.t                # compile tinyc, reorganize, lint
 //	mipsx-lint -json prog.s                # machine-readable findings
+//	mipsx-lint -cost prog.s                # static per-block cycle costs
+//	mipsx-lint -cost -profile p.json prog.s # costs + measured roll-up
+//	mipsx-lint -cost-json prog.s           # cost model as JSON
 //	mipsx-lint -suite                      # lint every benchmark × scheme
 //
 // Exit status is 1 when any error-severity finding exists, 2 on usage or
@@ -17,12 +23,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/asm"
 	"repro/internal/lint"
+	"repro/internal/obs"
 	"repro/internal/reorg"
 	"repro/internal/tinyc"
 )
@@ -36,6 +44,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print findings as JSON")
 	quiet := flag.Bool("quiet", false, "suppress findings, report only the summary line")
 	suite := flag.Bool("suite", false, "lint every tinyc benchmark under every Table 1 scheme")
+	cost := flag.Bool("cost", false, "print the static per-block cycle-cost model instead of findings")
+	costJSON := flag.Bool("cost-json", false, "print the cost model as JSON")
+	profPath := flag.String("profile", "", "pc profile (from mipsx-run -profile-out) to roll the cost model up with")
 	flag.Parse()
 
 	if *suite {
@@ -89,6 +100,11 @@ func main() {
 		}
 	}
 
+	if *cost || *costJSON {
+		runCost(im, lint.Config{Slots: *slots}, *costJSON, *profPath)
+		return
+	}
+
 	rep := lint.CheckImage(im, lint.Config{Slots: *slots})
 	if *jsonOut {
 		b, err := rep.JSON()
@@ -108,18 +124,50 @@ func main() {
 	}
 }
 
+// runCost prints the static cycle-cost model, rolled up with a measured
+// profile when one is supplied.
+func runCost(im *asm.Image, cfg lint.Config, asJSON bool, profPath string) {
+	rep := lint.AnalyzeCost(im, cfg)
+	var prof *obs.PCProfile
+	if profPath != "" {
+		raw, err := os.ReadFile(profPath)
+		if err != nil {
+			fail(err)
+		}
+		prof, err = obs.ParsePCProfile(raw)
+		if err != nil {
+			fail(err)
+		}
+		p := rep.Predict(prof)
+		rep.Prediction = &p
+	}
+	if asJSON {
+		b, err := rep.JSON()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(b))
+		return
+	}
+	fmt.Print(rep.Render(prof))
+}
+
+// SuiteSchema versions the -suite -json envelope.
+const SuiteSchema = "mipsx-lint-suite/v1"
+
+type suiteRow struct {
+	Bench  string `json:"bench"`
+	Scheme string `json:"scheme"`
+	Errors int    `json:"errors"`
+	Warns  int    `json:"warnings"`
+	Infos  int    `json:"infos"`
+}
+
 // runSuite verifies every tinyc benchmark under every Table 1 scheme — the
 // "does the reorganizer keep its promise" regression sweep.
 func runSuite(jsonOut bool) int {
 	status := 0
-	type result struct {
-		Bench  string `json:"bench"`
-		Scheme string `json:"scheme"`
-		Errors int    `json:"errors"`
-		Warns  int    `json:"warnings"`
-		Infos  int    `json:"infos"`
-	}
-	var rows []result
+	var rows []suiteRow
 	for _, b := range tinyc.Benchmarks() {
 		for _, s := range reorg.Table1Schemes() {
 			im, err := tinyc.Build(b.Source, s, nil)
@@ -131,7 +179,7 @@ func runSuite(jsonOut bool) int {
 			}
 			rep := lint.CheckImage(im, lint.Config{Slots: s.Slots})
 			errs, warns, infos := rep.Counts()
-			rows = append(rows, result{b.Name, s.String(), errs, warns, infos})
+			rows = append(rows, suiteRow{b.Name, s.String(), errs, warns, infos})
 			if errs > 0 {
 				status = 1
 				fmt.Print(rep.String())
@@ -143,16 +191,14 @@ func runSuite(jsonOut bool) int {
 		}
 	}
 	if jsonOut {
-		fmt.Println("[")
-		for i, r := range rows {
-			comma := ","
-			if i == len(rows)-1 {
-				comma = ""
-			}
-			fmt.Printf("  {\"bench\":%q,\"scheme\":%q,\"errors\":%d,\"warnings\":%d,\"infos\":%d}%s\n",
-				r.Bench, r.Scheme, r.Errors, r.Warns, r.Infos, comma)
+		b, err := json.MarshalIndent(struct {
+			Schema  string     `json:"schema"`
+			Targets []suiteRow `json:"targets"`
+		}{SuiteSchema, rows}, "", "  ")
+		if err != nil {
+			fail(err)
 		}
-		fmt.Println("]")
+		fmt.Println(string(b))
 	}
 	return status
 }

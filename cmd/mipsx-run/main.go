@@ -13,6 +13,7 @@
 //	mipsx-run -lint prog.s                # refuse to run hazardous code
 //	mipsx-run -breakdown prog.s           # cycle-attribution table
 //	mipsx-run -trace-out t.json prog.s    # Chrome/Perfetto event trace
+//	mipsx-run -profile-out p.json prog.s  # pc/block profile for mipsx-lint -cost
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 	breakdownOut := flag.String("breakdown-out", "", "write the attribution report as JSON (mipsx-trace viz renders it)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event/Perfetto JSON trace of the run")
 	traceEvents := flag.Int("trace-events", obs.DefaultMaxEvents, "with -trace-out: event-buffer bound (oldest kept, rest dropped)")
+	profileOut := flag.String("profile-out", "", "write the per-PC writeback profile as JSON (mipsx-lint -cost -profile reads it)")
 	benchName := flag.String("bench", "", "run the named built-in tinyc benchmark instead of a source file")
 	flag.Parse()
 
@@ -129,6 +131,11 @@ func main() {
 		m.Observe(s)
 	}
 	m.Load(im)
+	var pcProf *obs.PCProfile
+	if *profileOut != "" {
+		pcProf = obs.NewPCProfile(uint32(im.Base), len(im.Words))
+		m.CPU.Prof = pcProf
+	}
 	for i := 0; i < *pipe && !m.Console.Halted; i++ {
 		fmt.Println(m.CPU.Snapshot())
 		m.CPU.Step()
@@ -155,6 +162,15 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "mipsx-run: wrote %d trace events to %s (%d dropped at the %d-event bound)\n",
 			m.Obs.Tracer.Len(), *traceOut, m.Obs.Tracer.Dropped(), *traceEvents)
+	}
+	if *profileOut != "" {
+		b, err := pcProf.Doc().Marshal()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*profileOut, b, 0o644); err != nil {
+			fail(err)
+		}
 	}
 	if *breakdownOut != "" {
 		b, err := m.ObsReport().Marshal()

@@ -10,6 +10,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/lint"
 	"repro/internal/obs"
 	"repro/internal/reorg"
 	"repro/internal/tinyc"
@@ -151,13 +152,44 @@ func run(ctx context.Context, b tinyc.Benchmark, scheme reorg.Scheme, prof reorg
 	cfg.Pipeline.BranchSlots = scheme.Slots
 	m := core.New(cfg, nil)
 	m.Load(im)
+	pcProf := obs.NewPCProfile(uint32(im.Base), len(im.Words))
+	m.CPU.Prof = pcProf
 	if err := runMachine(ctx, m); err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
 	if want := b.Expect(); m.Output() != want {
 		return nil, fmt.Errorf("%s: wrong output %q (want %q)", b.Name, m.Output(), want)
 	}
+	if err := crossCheckCost(im, scheme.Slots, m, pcProf); err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
 	return m, nil
+}
+
+// crossCheckCost validates the static cycle-cost model against the run's
+// attribution ledger: fed with the measured block profile, the per-block
+// roll-up must equal the ledger's execute, nop and squash-annul counters
+// exactly. Any drift means either the static model or the pipeline is
+// wrong, so every live cell doubles as a standing cross-check (memo
+// replays skip it, like the conservation check — the result being replayed
+// already passed). Runs that took exceptions or images using constructs
+// the model flags as unmodeled are outside the exact scope and skipped.
+func crossCheckCost(im *asm.Image, slots int, m *core.Machine, pcProf *obs.PCProfile) error {
+	if m.CPU.Stats.Exceptions > 0 {
+		return nil
+	}
+	rep := lint.AnalyzeCost(im, lint.Config{Slots: slots})
+	if !rep.Exact() {
+		return nil
+	}
+	p := rep.Predict(pcProf)
+	led := m.Obs.Ledger
+	exec, nop, sq := led.Count(obs.CauseExecute), led.Count(obs.CauseNop), led.Count(obs.CauseSquashAnnul)
+	if p.Execute != int64(exec) || p.Nops != int64(nop) || p.SquashAnnul != int64(sq) {
+		return fmt.Errorf("static cost model disagrees with ledger: predicted execute/nop/squash-annul %d/%d/%d, measured %d/%d/%d",
+			p.Execute, p.Nops, p.SquashAnnul, exec, nop, sq)
+	}
+	return nil
 }
 
 // runProfiled runs twice: once to collect a branch profile, then rebuilt
@@ -461,7 +493,12 @@ func runAsm(ctx context.Context, src string, cfg core.Config) (*core.Machine, er
 	}
 	m := core.New(cfg, nil)
 	m.Load(im)
+	pcProf := obs.NewPCProfile(uint32(im.Base), len(im.Words))
+	m.CPU.Prof = pcProf
 	if err := runMachine(ctx, m); err != nil {
+		return nil, err
+	}
+	if err := crossCheckCost(im, cfg.Pipeline.BranchSlots, m, pcProf); err != nil {
 		return nil, err
 	}
 	return m, nil

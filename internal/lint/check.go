@@ -29,6 +29,16 @@ type checker struct {
 	symAddrs []isa.Word // sorted label addresses, for diagnostic labeling
 	symNames map[isa.Word]string
 
+	// entry is the instruction index execution starts at: the "main" symbol
+	// when the image defines one (matching core.Machine.Load), else 0.
+	entry int
+
+	// Issue-block decomposition (see cost.go), built on first use.
+	blkBuilt bool
+	blk      []blockInfo
+	lead     []bool
+	unmod    []string
+
 	diags []Diagnostic
 }
 
@@ -67,6 +77,11 @@ func newChecker(im *asm.Image, cfg Config) *checker {
 		c.symAddrs = append(c.symAddrs, a)
 	}
 	sort.Slice(c.symAddrs, func(i, j int) bool { return c.symAddrs[i] < c.symAddrs[j] })
+	if a, ok := im.Symbols["main"]; ok {
+		if i := int(int64(a) - int64(im.Base)); i >= 0 && i < n && c.isIn[i] {
+			c.entry = i
+		}
+	}
 	c.buildGraph()
 	return c
 }
@@ -181,6 +196,7 @@ func (c *checker) run() {
 	c.checkTiming()
 	c.checkPSWWindow()
 	c.checkSquashSlotWrites()
+	c.checkSchedulingQuality()
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,51 @@
+package lint_test
+
+// Config-variant sweep: the lint Config's two axes — quick-compare
+// (Slots: 1, the RF-resolving branch with one less level of bypass) vs the
+// 2-slot ALU-resolving machine, and every squashing-branch mode — are each
+// exercised through the full differential harness. For every Table 1
+// scheme, representative compiled benchmarks must (1) lint clean under the
+// matching Config, (2) run on the pipelined machine without tripping the
+// dynamic hazard checker, and (3) produce registers and console output
+// identical to the sequential golden model. A Config variant whose rules
+// were wrong in either direction fails one of the three legs: too lax and
+// the pipeline diverges from the golden model; too strict and the
+// reorganizer's output stops linting clean.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/reorg"
+	"repro/internal/tinyc"
+)
+
+func TestConfigVariantsDifferentialSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scheme × benchmark grid")
+	}
+	// Chosen for coverage of the constructs the Config axes gate: tight
+	// compare-and-branch loops (fib), load-use pressure over arrays
+	// (bubblesort), byte loads feeding branches (charscan), and deep
+	// call/return chains with pointer loads (quicksort).
+	names := map[string]bool{"bubblesort": true, "fib": true, "charscan": true, "quicksort": true}
+	ran := 0
+	for _, b := range tinyc.Benchmarks() {
+		if !names[b.Name] {
+			continue
+		}
+		for _, s := range reorg.Table1Schemes() {
+			t.Run(fmt.Sprintf("%s/%s", b.Name, s), func(t *testing.T) {
+				im, err := tinyc.Build(b.Source, s, nil)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				requireCleanAndEqual(t, im, s.Slots)
+			})
+			ran++
+		}
+	}
+	if want := len(names) * len(reorg.Table1Schemes()); ran != want {
+		t.Fatalf("sweep ran %d cells, want %d (benchmark list drifted)", ran, want)
+	}
+}

@@ -36,6 +36,20 @@
 //	squash-slot-write (info) squashed delay slot writes a register that is
 //	                        live on the fall-through path (the write is
 //	                        suppressed there; surfaces the dependence)
+//	slot-unfilled   (warn)  explicit no-op in an unconditionally-executed
+//	                        delay slot that a provably movable instruction
+//	                        above could fill
+//	squash-slot-nop (warn)  explicit no-op in the annullable slot of a
+//	                        squashing branch — wasted on the taken path and
+//	                        annulled on the fall-through
+//	unreachable-block (warn) no path from the entry (including call-return
+//	                        continuations) reaches the block
+//
+// The package also carries the static cycle-cost model (AnalyzeCost, see
+// cost.go): per-block base-cycle costs on the same delay-slot-aware graph,
+// rolled up with a measured obs.PCProfile into whole-program predictions
+// that the experiment engine cross-validates against the attribution
+// ledger exactly.
 //
 // Error-severity rules correspond to real behavioral divergences between the
 // pipelined machine and the sequential golden model — each is demonstrated
@@ -91,6 +105,9 @@ const (
 	RuleQuickBranch     = "quick-branch"
 	RulePSWWindow       = "psw-window"
 	RuleSquashSlotWrite = "squash-slot-write"
+	RuleSlotUnfilled    = "slot-unfilled"
+	RuleSquashSlotNop   = "squash-slot-nop"
+	RuleUnreachable     = "unreachable-block"
 )
 
 // RuleSeverity returns the severity a rule reports at.
@@ -99,7 +116,7 @@ func RuleSeverity(rule string) Severity {
 	case RuleLoadUse, RuleCoprocTransfer, RuleCtrlInSlot,
 		RuleSpecialTiming, RulePCChain, RuleQuickBranch:
 		return SevError
-	case RulePSWWindow:
+	case RulePSWWindow, RuleSlotUnfilled, RuleSquashSlotNop, RuleUnreachable:
 		return SevWarn
 	}
 	return SevInfo
@@ -110,6 +127,7 @@ func Rules() []string {
 	return []string{
 		RuleLoadUse, RuleCoprocTransfer, RuleCtrlInSlot, RuleSpecialTiming,
 		RulePCChain, RuleQuickBranch, RulePSWWindow, RuleSquashSlotWrite,
+		RuleSlotUnfilled, RuleSquashSlotNop, RuleUnreachable,
 	}
 }
 
@@ -190,30 +208,54 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// JSON renders the findings as a JSON array.
+// ReportSchema versions the JSON envelope JSON() emits, so downstream
+// parsers can gate on it before trusting field shapes.
+const ReportSchema = "mipsx-lint/v1"
+
+// JSON renders the findings inside a schema-tagged envelope.
 func (r *Report) JSON() ([]byte, error) {
 	ds := r.Diags
 	if ds == nil {
 		ds = []Diagnostic{}
 	}
-	return json.MarshalIndent(ds, "", "  ")
+	return json.MarshalIndent(struct {
+		Schema      string       `json:"schema"`
+		Diagnostics []Diagnostic `json:"diagnostics"`
+	}{ReportSchema, ds}, "", "  ")
 }
 
 // CheckImage verifies an assembled image.
 func CheckImage(im *asm.Image, cfg Config) *Report {
 	c := newChecker(im, cfg)
 	c.run()
-	sort.SliceStable(c.diags, func(i, j int) bool {
-		a, b := c.diags[i], c.diags[j]
+	return &Report{Diags: normalize(c.diags)}
+}
+
+// normalize puts diagnostics in a fully deterministic order — severity
+// descending, then PC, rule, detail — and drops exact duplicates (the
+// def-use walk can reach the same consumer along several paths and report
+// it once per path).
+func normalize(ds []Diagnostic) []Diagnostic {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
 		if a.Severity != b.Severity {
 			return a.Severity > b.Severity
 		}
 		if a.PC != b.PC {
 			return a.PC < b.PC
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Detail < b.Detail
 	})
-	return &Report{Diags: c.diags}
+	out := ds[:0]
+	for _, d := range ds {
+		if len(out) == 0 || out[len(out)-1] != d {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // CheckStmts assembles symbolic statements at address 0 and verifies the

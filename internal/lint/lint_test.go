@@ -365,15 +365,48 @@ v:	.word 1
 	if err != nil {
 		t.Fatal(err)
 	}
-	var decoded []map[string]any
+	// Golden output: the envelope is a parser contract (schema tag first,
+	// findings under "diagnostics"), so pin it byte-for-byte.
+	want := `{
+  "schema": "mipsx-lint/v1",
+  "diagnostics": [
+    {
+      "rule": "load-use",
+      "severity": "error",
+      "pc": 1,
+      "line": 3,
+      "label": "main+1",
+      "detail": "reads r1 loaded 1 slot(s) earlier (load delay slot unfilled; needs 2)"
+    }
+  ]
+}`
+	if string(b) != want {
+		t.Fatalf("JSON envelope drifted from golden output:\ngot:\n%s\nwant:\n%s", b, want)
+	}
+	var decoded struct {
+		Schema      string           `json:"schema"`
+		Diagnostics []map[string]any `json:"diagnostics"`
+	}
 	if err := json.Unmarshal(b, &decoded); err != nil {
 		t.Fatalf("JSON output does not parse: %v\n%s", err, b)
 	}
-	if len(decoded) != 1 {
-		t.Fatalf("want 1 finding, got %d", len(decoded))
+	if decoded.Schema != lint.ReportSchema {
+		t.Fatalf("schema %q, want %q", decoded.Schema, lint.ReportSchema)
 	}
-	if decoded[0]["rule"] != "load-use" || decoded[0]["severity"] != "error" {
-		t.Fatalf("unexpected JSON finding: %v", decoded[0])
+	if len(decoded.Diagnostics) != 1 {
+		t.Fatalf("want 1 finding, got %d", len(decoded.Diagnostics))
+	}
+	if decoded.Diagnostics[0]["rule"] != "load-use" || decoded.Diagnostics[0]["severity"] != "error" {
+		t.Fatalf("unexpected JSON finding: %v", decoded.Diagnostics[0])
+	}
+	// An empty report still carries the envelope with an empty (non-null)
+	// diagnostics array.
+	empty, err := (&lint.Report{}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(empty) != "{\n  \"schema\": \"mipsx-lint/v1\",\n  \"diagnostics\": []\n}" {
+		t.Fatalf("empty-report envelope drifted:\n%s", empty)
 	}
 }
 

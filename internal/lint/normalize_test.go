@@ -1,0 +1,97 @@
+package lint_test
+
+// Regression tests for report normalization: identical findings reached
+// along different CFG paths collapse to one diagnostic, and same-PC
+// same-rule findings are ordered deterministically by Detail rather than
+// by whichever producer the checker happened to walk first.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestDuplicateFindingsCollapse builds a diamond where both arms load the
+// same register into the last delay slot of an unconditional branch to a
+// shared join that consumes it one slot later. The timing walk reaches the
+// join from each producer independently and emits the same finding twice;
+// the report must carry it once.
+func TestDuplicateFindingsCollapse(t *testing.T) {
+	rep := mustCheck(t, `
+main:	beq r1, r2, pb
+	nop
+	nop
+pa:	beq r0, r0, join
+	nop
+	ld r3, v(r0)
+pb:	beq r0, r0, join
+	nop
+	ld r3, v(r0)
+join:	add r5, r3, r4
+	halt
+v:	.word 7
+`, lint.Config{Slots: 2})
+	if got := countRule(rep, lint.RuleLoadUse); got != 1 {
+		t.Fatalf("load-use findings = %d, want exactly 1 (duplicates must collapse)\n%s", got, rep)
+	}
+	requireNormalized(t, rep)
+}
+
+// TestSameSiteFindingsSortByDetail is the same diamond with distinct
+// registers per arm: two genuinely different findings at the same pc, same
+// rule, same severity. The r4 producer sits on the earlier path, so the
+// checker emits its finding first; the report must still order by Detail
+// ("reads r3 ..." before "reads r4 ...").
+func TestSameSiteFindingsSortByDetail(t *testing.T) {
+	rep := mustCheck(t, `
+main:	beq r1, r2, pb
+	nop
+	nop
+pa:	beq r0, r0, join
+	nop
+	ld r4, v(r0)
+pb:	beq r0, r0, join
+	nop
+	ld r3, v(r0)
+join:	add r5, r3, r4
+	halt
+v:	.word 7
+`, lint.Config{Slots: 2})
+	var details []string
+	for _, d := range rep.Diags {
+		if d.Rule == lint.RuleLoadUse {
+			details = append(details, d.Detail)
+		}
+	}
+	if len(details) != 2 {
+		t.Fatalf("load-use findings = %d, want 2 (distinct registers must NOT collapse)\n%s", len(details), rep)
+	}
+	if !strings.Contains(details[0], "r3") || !strings.Contains(details[1], "r4") {
+		t.Fatalf("same-site findings not ordered by detail:\n  [0] %s\n  [1] %s", details[0], details[1])
+	}
+	requireNormalized(t, rep)
+}
+
+// requireNormalized asserts the report invariants every consumer relies on:
+// fully sorted (severity desc, then pc, rule, detail) and free of exact
+// duplicates.
+func requireNormalized(t *testing.T, rep *lint.Report) {
+	t.Helper()
+	for i := 1; i < len(rep.Diags); i++ {
+		a, b := rep.Diags[i-1], rep.Diags[i]
+		if a == b {
+			t.Fatalf("exact duplicate survived normalization: %s", a)
+		}
+		switch {
+		case b.Severity > a.Severity:
+			t.Fatalf("not sorted by severity:\n%s", rep)
+		case b.Severity == a.Severity && b.PC < a.PC:
+			t.Fatalf("not sorted by pc within severity:\n%s", rep)
+		case b.Severity == a.Severity && b.PC == a.PC && b.Rule < a.Rule:
+			t.Fatalf("not sorted by rule within pc:\n%s", rep)
+		case b.Severity == a.Severity && b.PC == a.PC && b.Rule == a.Rule && b.Detail < a.Detail:
+			t.Fatalf("not sorted by detail within rule:\n%s", rep)
+		}
+	}
+}

@@ -231,6 +231,15 @@ type CPU struct {
 	// (used for profiling and the branch-prediction experiments).
 	BranchTrace func(pc isa.Word, in isa.Instruction, taken bool)
 
+	// Prof, when non-nil, accumulates the per-PC writeback profile consumed
+	// by the static cycle-cost model (internal/lint): block execution counts
+	// and conditional-branch outcomes. It is charged at WB — the same point
+	// attributeWB charges the ledger's base causes — so profile counts and
+	// ledger causes partition exactly the same instruction population
+	// (in-flight instructions at halt and exception-killed slots appear in
+	// neither).
+	Prof *obs.PCProfile
+
 	// Obs, when non-nil, receives cycle attribution and trace events. The
 	// pipeline charges exactly one base cause per Step (from the slot
 	// retiring at WB) plus coprocessor busy stalls; the instruction and data
@@ -566,6 +575,7 @@ func (c *CPU) commitWB() {
 	defer func() { *s = slot{} }()
 	if s.sqNoop {
 		c.Stats.Squashed++
+		c.Prof.NoteWB(uint32(s.pc))
 		if c.Trace != nil {
 			c.Trace(s.pc, s.in, true)
 		}
@@ -575,6 +585,15 @@ func (c *CPU) commitWB() {
 		return // already counted at kill time
 	}
 	c.Stats.Retired++
+	c.Prof.NoteWB(uint32(s.pc))
+	if s.in.Class == isa.ClassBranch &&
+		!(s.in.Cond == isa.CondEq && s.in.Rs1 == 0 && s.in.Rs2 == 0) {
+		// Branch outcome recorded at retirement rather than resolution, so a
+		// run that halts mid-pipe never records an outcome for a branch whose
+		// delay slots did not all reach WB — keeping the profile's annul
+		// arithmetic exactly consistent with the ledger.
+		c.Prof.NoteBranch(uint32(s.pc), s.taken)
+	}
 	if s.in.IsNop() {
 		c.Stats.Nops++
 	}
