@@ -15,6 +15,12 @@
 //	                                     # result cache across runs
 //	mipsx-bench -progress                # live cells/hit-rate/rate lines
 //	mipsx-bench -json -obs-overhead      # also measure observation overhead
+//	mipsx-bench -json -fast-bench        # also measure the fast tier's
+//	                                     # cold-cell suite speedup
+//	mipsx-bench -fast -check X.json -check-attr
+//	                                     # fast-gate differential wall: tables
+//	                                     # AND cycle totals AND attribution
+//	                                     # must match the baseline exactly
 //
 // Every run checks cycle-attribution conservation: the engine-wide
 // attribution (summed over live and replayed cells) must equal
@@ -66,15 +72,22 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable report on stdout instead of tables")
 	check := flag.String("check", "", "baseline JSON report; exit 1 if any table differs")
 	predecode := flag.Bool("predecode", true, "use the predecoded instruction-fetch fast path")
+	fast := flag.Bool("fast", false,
+		"use the compiled basic-block fast tier (timing only; tables and attribution are identical)")
 	cacheDir := flag.String("cache", "",
 		"directory backing the content-addressed result cache (empty = in-memory only)")
 	progress := flag.Bool("progress", false,
 		"print live progress to stderr (cells done/total, memo hit rate, cells/sec)")
 	obsOverhead := flag.Bool("obs-overhead", false,
 		"measure the observation substrate's wall-clock overhead and record it in the report")
+	fastBench := flag.Bool("fast-bench", false,
+		"measure the fast tier's cold-cell suite speedup and record it in the report")
+	checkAttr := flag.Bool("check-attr", false,
+		"with -check: also require cycle totals and the attribution breakdown to match the baseline exactly")
 	flag.Parse()
 
 	experiments.SetPredecode(*predecode)
+	experiments.SetFastTier(*fast)
 	eng := experiments.Configure(*parallel, *timeout, *jsonOut || *check != "")
 	store, err := experiments.NewMemoStore(*cacheDir)
 	if err != nil {
@@ -116,7 +129,7 @@ func main() {
 	wall := time.Since(start)
 	eng.FlushProgress()
 
-	doc := experiments.NewBenchDoc(tables, perExp, wall, *parallel, *predecode, eng)
+	doc := experiments.NewBenchDoc(tables, perExp, wall, *parallel, *predecode, *fast, eng)
 
 	// Conservation gate: every simulated cycle this run accounted must carry
 	// a cause (live cells verify per machine; replayed cells carry their
@@ -139,8 +152,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mipsx-bench: %s\n", o)
 	}
 
+	if *fastBench {
+		fb, err := experiments.MeasureFastTier()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mipsx-bench: -fast-bench: %v\n", err)
+			os.Exit(1)
+		}
+		doc.FastTier = fb
+		fmt.Fprintf(os.Stderr, "mipsx-bench: %s\n", fb)
+	}
+
 	if *check != "" {
-		if code := compare(*check, doc); code != 0 {
+		if code := compare(*check, doc, *checkAttr); code != 0 {
 			os.Exit(code)
 		}
 	}
@@ -164,8 +187,11 @@ func main() {
 // compare diffs this run's tables against a recorded baseline report:
 // experiments present in both must render identically (the simulated
 // results are deterministic; only timings may differ). It also reports the
-// wall-clock ratio, the bench-regression signal CI tracks.
-func compare(path string, doc *experiments.BenchDoc) int {
+// wall-clock ratio, the bench-regression signal CI tracks. With attr, the
+// comparison extends to the cycle totals and the full per-cause attribution
+// breakdown — the fast-gate's differential wall, where "identical tables"
+// is not enough and every simulated cycle must land on the same cause.
+func compare(path string, doc *experiments.BenchDoc, attr bool) int {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mipsx-bench: -check: %v\n", err)
@@ -193,11 +219,35 @@ func compare(path string, doc *experiments.BenchDoc) int {
 				e.ID, path, want.Text, e.Text)
 		}
 	}
+	if attr {
+		if doc.TotalCyclesSimulated != base.TotalCyclesSimulated {
+			drift++
+			fmt.Fprintf(os.Stderr, "mipsx-bench: total_cycles_simulated drifted: %d, baseline %d\n",
+				doc.TotalCyclesSimulated, base.TotalCyclesSimulated)
+		}
+		for cause, n := range base.Attribution {
+			if doc.Attribution[cause] != n {
+				drift++
+				fmt.Fprintf(os.Stderr, "mipsx-bench: attribution[%s] drifted: %d, baseline %d\n",
+					cause, doc.Attribution[cause], n)
+			}
+		}
+		for cause, n := range doc.Attribution {
+			if _, ok := base.Attribution[cause]; !ok {
+				drift++
+				fmt.Fprintf(os.Stderr, "mipsx-bench: attribution[%s]=%d absent from baseline\n", cause, n)
+			}
+		}
+	}
 	if drift > 0 {
 		fmt.Fprintf(os.Stderr, "mipsx-bench: %d experiment(s) drifted from the recorded golden tables\n", drift)
 		return 1
 	}
 	fmt.Fprintf(os.Stderr, "mipsx-bench: all %d experiment tables match %s\n", len(doc.Experiments), path)
+	if attr {
+		fmt.Fprintf(os.Stderr, "mipsx-bench: attribution matches: %d cycles across %d causes\n",
+			doc.AttributedCycles, len(doc.Attribution))
+	}
 	if lookups := doc.MemoHits + doc.MemoMisses; lookups > 0 {
 		fmt.Fprintf(os.Stderr, "mipsx-bench: memo hits %d of %d lookups (%.0f%%)\n",
 			doc.MemoHits, lookups, 100*doc.MemoHitRate)

@@ -36,6 +36,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print run statistics")
 	check := flag.Bool("check", false, "enable the software-interlock hazard checker")
 	doLint := flag.Bool("lint", false, "statically verify the program before running; refuse on errors")
+	fast := flag.Bool("fast", false, "enable the compiled fast tier (bit-identical results; see DESIGN.md §12)")
 	maxCycles := flag.Uint64("max-cycles", 100_000_000, "cycle limit")
 	pipe := flag.Int("pipe", 0, "print the first N cycles of pipeline occupancy")
 	breakdown := flag.Bool("breakdown", false, "print the cycle-attribution table (conservation-checked)")
@@ -100,6 +101,11 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.Pipeline.CheckHazards = *check
+	// The fast tier composes with every observation flag except the event
+	// tracer (per-cycle events force the accurate path, making -fast a
+	// no-op): -profile-out still charges the PCProfile at WB-equivalent
+	// retirement, -breakdown still conserves the attribution ledger.
+	cfg.FastTier = *fast
 
 	if *tiny && *profile {
 		// First pass: collect branch outcomes; second pass: rebuild.

@@ -1,0 +1,58 @@
+// Fast-tier installation: gating, lint clearance and program compilation
+// for the pipeline's compiled basic-block tier (internal/pipeline/fast.go).
+package core
+
+import (
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/lint"
+	"repro/internal/pipeline"
+)
+
+// fastKey identifies a compiled-program cache entry: the image identity plus
+// the branch-slot count the lint clearance was proved under. Compiled ops are
+// pure and slot-independent, but clearance is per (image, slots).
+type fastKey struct {
+	im    *asm.Image
+	slots int
+}
+
+// fastCache memoizes lint clearance + compilation per loaded image, so the
+// experiment engine's many cells over shared images pay the static analysis
+// once. Values are *pipeline.FastProgram (nil when the image failed
+// clearance and the tier stays off for it).
+var fastCache sync.Map
+
+// installFastTier binds a compiled fast program to the CPU when the
+// configuration asks for it and the loaded image qualifies. The tier is
+// refused entirely for:
+//
+//   - shared-bus nodes (an arbiter makes data-access timing depend on the
+//     global cycle interleave, which only lockstep Stepping preserves), and
+//   - images with hazard-lint errors: the tier's block model leans on the
+//     same delay-slot discipline the lint rules prove, so a lint-flagged
+//     image runs cycle-accurate only — the "falls back at any lint-flagged
+//     hazard window" contract, enforced at its coarsest granularity.
+//
+// Everything finer-grained (icache misses, exceptions, squashing branches,
+// interrupts, coprocessor traffic) is handled dynamically by the tier's own
+// entry and exit seams.
+func (m *Machine) installFastTier(im *asm.Image) {
+	m.CPU.Fast = nil
+	if !m.Cfg.FastTier || m.Bus.Arb != nil || m.sharedMem || im == nil || len(im.Words) == 0 {
+		return
+	}
+	key := fastKey{im: im, slots: m.Cfg.Pipeline.BranchSlots}
+	v, ok := fastCache.Load(key)
+	if !ok {
+		var prog *pipeline.FastProgram
+		if rep := lint.CheckImage(im, lint.Config{Slots: key.slots}); !rep.HasErrors() {
+			prog = pipeline.CompileFast(im.Base, im.Words)
+		}
+		v, _ = fastCache.LoadOrStore(key, prog)
+	}
+	if prog, _ := v.(*pipeline.FastProgram); prog != nil {
+		m.CPU.Fast = prog.Bind(m.Mem)
+	}
+}

@@ -37,6 +37,15 @@ type Config struct {
 	Bus      mem.Bus
 	// NoFPU omits the floating-point coprocessor.
 	NoFPU bool
+	// FastTier enables the compiled basic-block fast tier (see
+	// internal/pipeline/fast.go): straight-line runs of lint-clean code
+	// execute as chained closures, falling back to the cycle-accurate
+	// pipeline at every boundary event. It is a pure simulator speed knob —
+	// results are bit-identical with it on or off — and deliberately NOT
+	// part of the experiment memo key material (internal/experiments hashes
+	// the architectural sub-configs, not this struct), so fast and accurate
+	// runs share memo entries.
+	FastTier bool
 }
 
 // DefaultConfig is the machine as built.
@@ -69,6 +78,11 @@ type Machine struct {
 	// nil (the default) means observation is off. Attach with Observe.
 	Obs *obs.Sink
 
+	// sharedMem marks a machine built over another node's memory; the fast
+	// tier is refused there (a peer's stores could rewrite this node's code
+	// without tripping its self-modification watch).
+	sharedMem bool
+
 	out strings.Builder
 }
 
@@ -87,6 +101,7 @@ func NewShared(cfg Config, sharedMem *mem.Memory, arb *mem.Arbiter, consoleOut i
 	m := &Machine{Cfg: cfg}
 	if sharedMem != nil {
 		m.Mem = sharedMem
+		m.sharedMem = true
 	} else {
 		m.Mem = mem.New()
 	}
@@ -126,6 +141,7 @@ func (m *Machine) Load(im *asm.Image) {
 	}
 	m.CPU.Reset(entry)
 	m.Console.Halted = false
+	m.installFastTier(im)
 }
 
 // LoadSource assembles src at address 0 and loads it.
@@ -187,7 +203,7 @@ func (m *Machine) Run(maxCycles uint64) (uint64, error) {
 		// off-chip interrupt unit would: level-triggered, deasserted once
 		// the handler has drained the pending causes.
 		m.CPU.IntLine = m.IntC.Pending()
-		cycles += uint64(m.CPU.Step())
+		cycles += uint64(m.CPU.StepFast())
 		if pc := m.CPU.PC(); runawayAt != 0 && pc >= runawayAt {
 			return cycles, &FaultError{PC: pc, Cycles: cycles,
 				Reason: fmt.Sprintf("pc ran outside the loaded image [%#x, %#x)", m.Image.Base,

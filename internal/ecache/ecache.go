@@ -136,13 +136,21 @@ type line struct {
 	// first demand reference (prefetched lines arrive with it clear).
 	refd bool
 	// use is the LRU timestamp or FIFO insertion order, policy dependent.
-	use uint64
+	// 32 bits suffice: it counts this cache's touches, bounded by the
+	// machine's 50M-cycle run limit at a handful of accesses per cycle —
+	// far from wrap — and the narrower line halves construction memclr cost.
+	use uint32
 }
 
 // Cache is a set-associative cache in front of main memory.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	// lines is the flat way array: set s occupies lines[s*ways:(s+1)*ways].
+	// A [][]line set table would add numSets slice headers — 384KB of
+	// GC-scanned pointers per machine at the default geometry, allocated on
+	// the experiment engine's one-machine-per-cell hot path.
+	lines    []line
+	ways     int
 	setShift uint // log2(LineWords)
 	setBits  uint // log2(number of sets)
 	setMask  isa.Word
@@ -174,9 +182,10 @@ func New(cfg Config, m *mem.Memory, bus *mem.Bus) *Cache {
 	if numSets == 0 || numSets&(numSets-1) != 0 || cfg.LineWords&(cfg.LineWords-1) != 0 {
 		panic("ecache: sizes must be powers of two")
 	}
-	c := &Cache{
+	return &Cache{
 		cfg:      cfg,
-		sets:     make([][]line, numSets),
+		lines:    make([]line, numLines),
+		ways:     cfg.Ways,
 		setShift: log2(cfg.LineWords),
 		setBits:  log2(numSets),
 		setMask:  isa.Word(numSets - 1),
@@ -184,14 +193,12 @@ func New(cfg Config, m *mem.Memory, bus *mem.Bus) *Cache {
 		Mem:      m,
 		Bus:      bus,
 	}
-	// One flat backing array for every line: the default Ecache has 16K
-	// sets, and a per-set allocation loop dominated machine construction —
-	// which sits on the experiment engine's hot path (one machine per cell).
-	lines := make([]line, numSets*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i] = lines[i*cfg.Ways : (i+1)*cfg.Ways]
-	}
-	return c
+}
+
+// set returns the ways of set s, a view into the flat line array.
+func (c *Cache) set(s isa.Word) []line {
+	i := int(s) * c.ways
+	return c.lines[i : i+c.ways]
 }
 
 func log2(v int) uint {
@@ -213,8 +220,9 @@ func (c *Cache) index(a isa.Word) (set isa.Word, tag isa.Word) {
 
 // lookup finds the way holding tag in set s, or -1.
 func (c *Cache) lookup(s, tag isa.Word) int {
-	for i := range c.sets[s] {
-		if c.sets[s][i].valid && c.sets[s][i].tag == tag {
+	ways := c.set(s)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
 			return i
 		}
 	}
@@ -223,7 +231,7 @@ func (c *Cache) lookup(s, tag isa.Word) int {
 
 // victim chooses the way to replace in set s per the configured policy.
 func (c *Cache) victim(s isa.Word) int {
-	ways := c.sets[s]
+	ways := c.set(s)
 	for i := range ways {
 		if !ways[i].valid {
 			return i
@@ -247,7 +255,7 @@ func (c *Cache) victim(s isa.Word) int {
 func (c *Cache) touch(s isa.Word, way int) {
 	if c.cfg.Repl == LRU {
 		c.tick++
-		c.sets[s][way].use = c.tick
+		c.set(s)[way].use = uint32(c.tick)
 	}
 	// FIFO and Random ignore hits.
 }
@@ -258,7 +266,7 @@ func (c *Cache) touch(s isa.Word, way int) {
 func (c *Cache) fill(s, tag isa.Word) (int, int, int) {
 	way := c.victim(s)
 	stall, wait := 0, 0
-	l := &c.sets[s][way]
+	l := &c.set(s)[way]
 	if l.valid && l.dirty {
 		// Copy-back of the evicted line.
 		c.Stats.WriteBacks++
@@ -283,7 +291,7 @@ func (c *Cache) fill(s, tag isa.Word) (int, int, int) {
 	stall += cost
 	wait += w
 	c.tick++
-	*l = line{tag: tag, valid: true, use: c.tick}
+	*l = line{tag: tag, valid: true, use: uint32(c.tick)}
 	return way, stall, wait
 }
 
@@ -298,10 +306,20 @@ func (c *Cache) lineBase(s, tag isa.Word) isa.Word {
 func (c *Cache) Read(a isa.Word) (isa.Word, int) {
 	c.Stats.Reads++
 	s, tag := c.index(a)
-	if way := c.lookup(s, tag); way >= 0 {
-		c.touch(s, way)
-		first := !c.sets[s][way].refd
-		c.sets[s][way].refd = true
+	ways := c.set(s)
+	for i := range ways {
+		ln := &ways[i]
+		if !ln.valid || ln.tag != tag {
+			continue
+		}
+		// Hit path, resolved to one line pointer: replacement touch,
+		// tagged-prefetch reference bit, then the data word.
+		if c.cfg.Repl == LRU {
+			c.tick++
+			ln.use = uint32(c.tick)
+		}
+		first := !ln.refd
+		ln.refd = true
 		switch c.cfg.Fetch {
 		case PrefetchAlways:
 			c.prefetchNext(a)
@@ -314,7 +332,7 @@ func (c *Cache) Read(a isa.Word) (isa.Word, int) {
 	}
 	c.Stats.ReadMisses++
 	way, stall, wait := c.fill(s, tag)
-	c.sets[s][way].refd = true
+	c.set(s)[way].refd = true
 	stall += c.cfg.LateMissExtra
 	c.Stats.StallCycles += uint64(stall)
 	if o := c.Obs; o != nil {
@@ -373,7 +391,7 @@ func (c *Cache) Write(a, w isa.Word) int {
 		} else {
 			c.touch(s, way)
 		}
-		c.sets[s][way].dirty = true
+		c.set(s)[way].dirty = true
 		c.Mem.Write(a, w) // see fill: memory is the value store
 	case WriteThrough:
 		if way >= 0 {
@@ -394,15 +412,13 @@ func (c *Cache) Write(a, w isa.Word) int {
 
 // Flush writes back all dirty lines and invalidates the cache.
 func (c *Cache) Flush() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			l := &c.sets[s][w]
-			if l.valid && l.dirty {
-				c.Stats.WriteBacks++
-				c.Bus.TransferCost(c.cfg.LineWords)
-			}
-			*l = line{}
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.valid && l.dirty {
+			c.Stats.WriteBacks++
+			c.Bus.TransferCost(c.cfg.LineWords)
 		}
+		*l = line{}
 	}
 }
 

@@ -477,6 +477,13 @@ var defaultEngine atomic.Pointer[Engine]
 // fetch path for baselines and ablations).
 var usePredecode atomic.Bool
 
+// useFastTier gates the compiled basic-block fast tier in machine configs
+// built by defaultConfig (mipsx-bench -fast). Like predecode it is a pure
+// simulator-speed knob — tables, attribution and the conservation invariant
+// are byte-identical either way (the fast-gate CI job holds that line) — and
+// like predecode it is deliberately not memo-key material.
+var useFastTier atomic.Bool
+
 func init() {
 	defaultEngine.Store(&Engine{})
 	usePredecode.Store(true)
@@ -496,3 +503,7 @@ func DefaultEngine() *Engine { return defaultEngine.Load() }
 // SetPredecode toggles the predecoded-fetch fast path for machines built by
 // the experiment runners (defaultConfig in runners.go reads it).
 func SetPredecode(on bool) { usePredecode.Store(on) }
+
+// SetFastTier toggles the compiled basic-block fast tier for machines built
+// by the experiment runners (defaultConfig in runners.go reads it).
+func SetFastTier(on bool) { useFastTier.Store(on) }

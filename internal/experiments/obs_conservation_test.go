@@ -153,7 +153,7 @@ func TestBenchDocConservation(t *testing.T) {
 	if err := e.Run(context.Background(), []Cell{cell}); err != nil {
 		t.Fatal(err)
 	}
-	doc := NewBenchDoc(nil, nil, 0, 1, true, e)
+	doc := NewBenchDoc(nil, nil, 0, 1, true, false, e)
 	if !doc.AttributionConserved {
 		t.Fatalf("doc not conserved: attributed %d, simulated %d", doc.AttributedCycles, doc.TotalCyclesSimulated)
 	}

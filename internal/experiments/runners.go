@@ -31,6 +31,7 @@ const runChunk = 2_000_000
 func defaultConfig() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Icache.Predecode = usePredecode.Load()
+	cfg.FastTier = useFastTier.Load()
 	return cfg
 }
 

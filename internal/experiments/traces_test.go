@@ -39,7 +39,7 @@ func TestBenchDocMemoFieldsAgreeWithoutStore(t *testing.T) {
 	if err := e.Run(context.Background(), []Cell{countedMemoCell(&runs, &out)}); err != nil {
 		t.Fatal(err)
 	}
-	doc := NewBenchDoc(nil, nil, time.Second, 1, true, e)
+	doc := NewBenchDoc(nil, nil, time.Second, 1, true, false, e)
 	if doc.MemoMisses != 1 || doc.MemoHits != 0 {
 		t.Fatalf("store-less run: hits/misses = %d/%d, want 0/1 (a memoizable cell ran live)",
 			doc.MemoHits, doc.MemoMisses)
@@ -61,7 +61,7 @@ func TestBenchDocMemoFieldsAgreeWithoutStore(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	doc2 := NewBenchDoc(nil, nil, time.Second, 1, true, e2)
+	doc2 := NewBenchDoc(nil, nil, time.Second, 1, true, false, e2)
 	if doc2.MemoHits != 1 || doc2.MemoMisses != 1 {
 		t.Fatalf("hits/misses = %d/%d, want 1/1", doc2.MemoHits, doc2.MemoMisses)
 	}

@@ -29,6 +29,12 @@ const (
 // PagePtr and keep reading current contents through it.
 type Memory struct {
 	pages map[isa.Word]*[pageSize]isa.Word
+	// One-entry page memo: accesses cluster heavily (a loop's working set is
+	// a handful of pages), and the map lookup dominates the hit path of the
+	// caches stacked above. lastPage is only ever a pointer already in the
+	// map, so the type invariant holds unchanged.
+	lastPN   isa.Word
+	lastPage *[pageSize]isa.Word
 
 	Reads  uint64 // word-read count (bus traffic accounting)
 	Writes uint64 // word-write count
@@ -42,21 +48,30 @@ func New() *Memory {
 // Read returns the word at word address a.
 func (m *Memory) Read(a isa.Word) isa.Word {
 	m.Reads++
+	if pn := a >> pageBits; pn == m.lastPN && m.lastPage != nil {
+		return m.lastPage[a&pageMask]
+	}
 	p := m.pages[a>>pageBits]
 	if p == nil {
 		return 0
 	}
+	m.lastPN, m.lastPage = a>>pageBits, p
 	return p[a&pageMask]
 }
 
 // Write stores w at word address a.
 func (m *Memory) Write(a, w isa.Word) {
 	m.Writes++
+	if pn := a >> pageBits; pn == m.lastPN && m.lastPage != nil {
+		m.lastPage[a&pageMask] = w
+		return
+	}
 	p := m.pages[a>>pageBits]
 	if p == nil {
 		p = new([pageSize]isa.Word)
 		m.pages[a>>pageBits] = p
 	}
+	m.lastPN, m.lastPage = a>>pageBits, p
 	p[a&pageMask] = w
 }
 
@@ -69,10 +84,14 @@ func (m *Memory) PagePtr(pn isa.Word) *[PageSize]isa.Word {
 
 // Peek reads without touching the traffic counters (used by tools & tests).
 func (m *Memory) Peek(a isa.Word) isa.Word {
+	if pn := a >> pageBits; pn == m.lastPN && m.lastPage != nil {
+		return m.lastPage[a&pageMask]
+	}
 	p := m.pages[a>>pageBits]
 	if p == nil {
 		return 0
 	}
+	m.lastPN, m.lastPage = a>>pageBits, p
 	return p[a&pageMask]
 }
 

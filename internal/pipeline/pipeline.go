@@ -208,9 +208,10 @@ type CPU struct {
 	// Table 1 accounting.
 	pendingSlotBranch bool
 
-	IMem    InstrPort
-	imemDec DecodedInstrPort // non-nil when IMem supports predecoded fetch
-	DMem    DataPort
+	IMem      InstrPort
+	imemDec   DecodedInstrPort // non-nil when IMem supports predecoded fetch
+	imemProbe ProbePort        // non-nil when IMem supports hit probing (fast tier)
+	DMem      DataPort
 	Coprocs *coproc.Set
 	FPU     *coproc.FPU // nil when no FPU is attached
 
@@ -247,6 +248,17 @@ type CPU struct {
 	// (sum(causes) == Stats.Cycles) holds when the memory ports share this
 	// sink — core.Machine.Observe wires that up.
 	Obs *obs.Sink
+
+	// Fast, when non-nil, lets StepFast execute straight-line runs of
+	// compiled instructions bit-exactly (see fast.go). Step itself never
+	// consults it, so single-stepping stays accurate-tier by construction.
+	Fast *FastTier
+
+	// FastSteps and FastRuns count instructions retired by the fast tier and
+	// the straight-line runs they came in. Diagnostic only: deliberately NOT
+	// part of Stats, which must stay bit-identical between tiers.
+	FastSteps uint64
+	FastRuns  uint64
 }
 
 // New builds a CPU with the given configuration and memory ports.
@@ -257,6 +269,9 @@ func New(cfg Config, imem InstrPort, dmem DataPort, cps *coproc.Set) *CPU {
 	c := &CPU{Cfg: cfg, IMem: imem, DMem: dmem, Coprocs: cps, psw: isa.ResetPSW}
 	if dp, ok := imem.(DecodedInstrPort); ok {
 		c.imemDec = dp
+	}
+	if pp, ok := imem.(ProbePort); ok {
+		c.imemProbe = pp
 	}
 	if cps != nil {
 		if f, ok := cps.Get(1).(*coproc.FPU); ok {
@@ -671,6 +686,9 @@ func (c *CPU) stageMEM() int {
 		st := c.DMem.Write(s.aluOut, s.storeData)
 		stall = st
 		c.Stats.DataStalls += uint64(st)
+		if c.Fast != nil {
+			c.Fast.NoteStore(s.aluOut) // self-modification watch (fast tier)
+		}
 	case isa.MemLdf:
 		c.Stats.FPMemOps++
 		w, st := c.DMem.Read(s.aluOut)
@@ -688,6 +706,9 @@ func (c *CPU) stageMEM() int {
 		st := c.DMem.Write(s.aluOut, w)
 		stall = st
 		c.Stats.DataStalls += uint64(st)
+		if c.Fast != nil {
+			c.Fast.NoteStore(s.aluOut) // self-modification watch (fast tier)
+		}
 	case isa.MemLdc, isa.MemStc, isa.MemCpw:
 		c.Stats.CoprocOps++
 		res, st := c.Coprocs.Exec(in.CoprocNum(), in.Mem, s.aluOut, s.storeData)
