@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet vet-extra vulncheck race lint-suite cost-gate fast-gate fuzz bench bench-hot trace-sample
+.PHONY: check build test vet vet-extra vulncheck race lint-suite cost-gate fast-gate fuzz bench bench-hot trace-sample explore-smoke explore-baseline
 
-check: vet vet-extra vulncheck build test race lint-suite cost-gate
+check: vet vet-extra vulncheck build test race lint-suite cost-gate explore-smoke
 
 build:
 	$(GO) build ./...
@@ -106,3 +106,17 @@ trace-sample:
 # Hot-only pass against an existing cache directory (after `make bench`).
 bench-hot:
 	$(GO) run ./cmd/mipsx-bench -check BENCH_baseline.json -cache $(BENCHCACHE) -json > BENCH_pr.json
+
+# Explorer smoke gate: a small Icache-geometry sweep (6 design points × 2
+# benchmarks) through mipsx-explore must reproduce the recorded golden
+# mipsx-explore/v1 document byte-for-byte — CPI, area, code size, Pareto
+# flags and every per-point attribution count. The document carries no
+# timestamps, so any drift is a real change to simulated behavior (or a
+# deliberate one, reseeded with explore-baseline in the same PR).
+EXPLORE_ARGS = -axis icache.sets=2,4,8 -axis icache.fetch_back=1,2 -benches fib,sieve
+explore-smoke:
+	$(GO) run ./cmd/mipsx-explore $(EXPLORE_ARGS) -check EXPLORE_baseline.json
+
+# Reseed the explorer golden document (deliberate changes only).
+explore-baseline:
+	$(GO) run ./cmd/mipsx-explore $(EXPLORE_ARGS) -json > EXPLORE_baseline.json

@@ -14,6 +14,7 @@
 //	mipsx-run -breakdown prog.s           # cycle-attribution table
 //	mipsx-run -trace-out t.json prog.s    # Chrome/Perfetto event trace
 //	mipsx-run -profile-out p.json prog.s  # pc/block profile for mipsx-lint -cost
+//	mipsx-run -spec machine.json prog.s   # run on a named design point
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lint"
 	"repro/internal/obs"
-	"repro/internal/reorg"
+	"repro/internal/spec"
 	"repro/internal/tinyc"
 	"repro/internal/trace"
 )
@@ -45,6 +46,7 @@ func main() {
 	traceEvents := flag.Int("trace-events", obs.DefaultMaxEvents, "with -trace-out: event-buffer bound (oldest kept, rest dropped)")
 	profileOut := flag.String("profile-out", "", "write the per-PC writeback profile as JSON (mipsx-lint -cost -profile reads it)")
 	benchName := flag.String("bench", "", "run the named built-in tinyc benchmark instead of a source file")
+	specPath := flag.String("spec", "", "machine-spec JSON file naming the design point to run (default: the machine as built)")
 	flag.Parse()
 
 	var src []byte
@@ -75,9 +77,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The machine is constructed only through a validated spec; -check and
+	// -fast are simulator knobs outside the spec, applied after Build. The
+	// spec is resolved before the toolchain runs: tinyc compilation and the
+	// lint verifier must target the spec's branch scheme, not the default —
+	// code scheduled for two delay slots is wrong on a one-slot machine.
+	ms := spec.Default()
+	if *specPath != "" {
+		b, err := os.ReadFile(*specPath)
+		if err != nil {
+			fail(err)
+		}
+		if ms, err = spec.Parse(b); err != nil {
+			fail(err)
+		}
+	}
+	scheme, err := ms.Scheme()
+	if err != nil {
+		fail(err)
+	}
+	cfg, err := ms.Build()
+	if err != nil {
+		fail(err)
+	}
+
 	var im *asm.Image
 	if *tiny {
-		im, err = tinyc.Build(string(src), reorg.Default(), nil)
+		im, err = tinyc.Build(string(src), scheme, nil)
 		if err != nil {
 			fail(err)
 		}
@@ -91,15 +117,15 @@ func main() {
 	if *doLint {
 		// The dynamic checker (-check) catches hazards the program happens to
 		// execute; the static verifier proves their absence up front.
-		rep := lint.CheckImage(im, lint.DefaultConfig())
+		lcfg := lint.DefaultConfig()
+		lcfg.Slots = scheme.Slots
+		rep := lint.CheckImage(im, lcfg)
 		fmt.Fprint(os.Stderr, rep.String())
 		if rep.HasErrors() {
 			fmt.Fprintln(os.Stderr, "mipsx-run: refusing to run: program has interlock hazards (see above)")
 			os.Exit(1)
 		}
 	}
-
-	cfg := core.DefaultConfig()
 	cfg.Pipeline.CheckHazards = *check
 	// The fast tier composes with every observation flag except the event
 	// tracer (per-cycle events force the accurate path, making -fast a
@@ -118,7 +144,7 @@ func main() {
 			fail(err)
 		}
 		prof := trace.Profile(im, rec.Branches)
-		im, err = tinyc.Build(string(src), reorg.Default(), prof)
+		im, err = tinyc.Build(string(src), scheme, prof)
 		if err != nil {
 			fail(err)
 		}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/icache"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/spec"
 	"repro/internal/trace"
 )
 
@@ -70,12 +71,10 @@ func main() {
 		return
 	}
 
-	icfg := icache.DefaultConfig()
-	icfg.FetchBack = *fetchBack
-	icfg.MissPenalty = *penalty
+	icfg := spec.Default().ICache.WithFetch(*fetchBack, *penalty).BuildICache()
 	m := mem.New()
 	bus := mem.DefaultBus()
-	e := ecache.New(ecache.DefaultConfig(), m, bus)
+	e := ecache.New(spec.DefaultECache().BuildECache(), m, bus)
 	ic := icache.New(icfg, e)
 	for _, a := range tr {
 		ic.Fetch(a)

@@ -108,7 +108,16 @@ func NewShared(cfg Config, sharedMem *mem.Memory, arb *mem.Arbiter, consoleOut i
 	m.Bus = &mem.Bus{Latency: cfg.Bus.Latency, PerWord: cfg.Bus.PerWord}
 	if arb != nil {
 		m.Bus.Arb = arb
-		m.Bus.Now = func() uint64 { return m.CPU.Stats.Cycles }
+		// The closure is installed before m.CPU exists (the pipeline is built
+		// last, over the caches that hold this bus), so it must tolerate being
+		// consulted mid-construction: before the CPU is wired, no cycles have
+		// elapsed.
+		m.Bus.Now = func() uint64 {
+			if m.CPU == nil {
+				return 0
+			}
+			return m.CPU.Stats.Cycles
+		}
 	}
 	m.ECache = ecache.New(cfg.Ecache, m.Mem, m.Bus)
 	m.ICache = icache.New(cfg.Icache, m.ECache)

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// contendedSrc is a short loop with enough fetch traffic to put refills on
+// the shared bus from both nodes.
+const contendedSrc = `
+main:	addi r1, r0, 50
+loop:	addi r1, r1, -1
+	bne.sq r1, r0, loop
+	nop
+	nop
+	halt
+`
+
+// TestSharedBusNowNilSafePreConstruction is the regression test for the
+// NewShared construction-order hazard: the Bus.Now closure is installed
+// before m.CPU exists (the pipeline is built last, over the caches holding
+// the bus), so any component consulting bus time during construction used
+// to dereference a nil CPU. Pre-construction, no cycles have elapsed.
+func TestSharedBusNowNilSafePreConstruction(t *testing.T) {
+	m := NewShared(DefaultConfig(), mem.New(), &mem.Arbiter{}, nil)
+	if m.Bus.Now == nil {
+		t.Fatal("arbitrated machine has no Bus.Now clock")
+	}
+	cpu := m.CPU
+	m.CPU = nil // the state the closure observes mid-construction
+	if got := m.Bus.Now(); got != 0 {
+		t.Fatalf("Bus.Now() = %d before the CPU exists, want 0", got)
+	}
+	m.CPU = cpu
+	m.CPU.Stats.Cycles = 42
+	if got := m.Bus.Now(); got != 42 {
+		t.Fatalf("Bus.Now() = %d after construction, want the CPU clock 42", got)
+	}
+}
+
+// TestSharedBusContendedMachines builds a two-node shared-bus configuration
+// (shared memory, shared arbiter) and runs both nodes to completion,
+// interleaved lowest-clock-first as the cluster scheduler does — the
+// arbitration path exercises Bus.Now on every transfer.
+func TestSharedBusContendedMachines(t *testing.T) {
+	shared := mem.New()
+	arb := &mem.Arbiter{}
+	nodes := [2]*Machine{}
+	for i := range nodes {
+		nodes[i] = NewShared(DefaultConfig(), shared, arb, nil)
+		if err := nodes[i].LoadSource(contendedSrc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for {
+		var next *Machine
+		for _, n := range nodes {
+			if n.Console.Halted {
+				continue
+			}
+			if next == nil || n.CPU.Stats.Cycles < next.CPU.Stats.Cycles {
+				next = n
+			}
+		}
+		if next == nil {
+			break
+		}
+		if next.CPU.Stats.Cycles > 1_000_000 {
+			t.Fatalf("node did not halt within 1M cycles (pc %#x)", next.CPU.PC())
+		}
+		if _, err := next.Run(256); err != nil && !errors.Is(err, ErrNotHalted) {
+			t.Fatal(err)
+		}
+	}
+	if arb.Transfers == 0 {
+		t.Fatal("no transfers crossed the shared bus arbiter")
+	}
+}

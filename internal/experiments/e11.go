@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/multi"
 	"repro/internal/reorg"
+	"repro/internal/spec"
 	"repro/internal/tinyc"
 )
 
@@ -65,7 +66,7 @@ func clusterCell(id, src string, n int, out *multi.Stats) Cell {
 			for j := range srcs {
 				srcs[j] = src
 			}
-			c := multi.New(n, defaultConfig())
+			c := multi.New(n, buildConfig(spec.Default()))
 			if err := c.LoadPrograms(srcs, reorg.Default()); err != nil {
 				return err
 			}
@@ -84,7 +85,7 @@ func clusterCell(id, src string, n int, out *multi.Stats) Cell {
 				k.str("scheme", reorg.Default().String())
 				k.num("nodes", uint64(n))
 				k.num("limit", e11ClusterLimit)
-				k.config(defaultConfig())
+				k.str("spec", spec.Default().Digest())
 				return k.sum(), nil
 			},
 			Save: func() (any, error) { return out, nil },

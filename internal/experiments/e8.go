@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/icache"
 	"repro/internal/pipeline"
+	"repro/internal/spec"
 )
 
 // handlerAsm is the paper's minimal exception handler: save the PC chain,
@@ -59,7 +60,7 @@ func ExceptionHandling() (*Table, error) {
 	}
 	const iters = 200
 	// Five independent machine runs, one cell each.
-	sticky := defaultConfig()
+	sticky := spec.Default()
 	sticky.Pipeline.StickyOverflow = true
 	const brSrc = `
 main:	addi r1, r0, 50
@@ -83,10 +84,10 @@ main:	li r9, 0x7FFFFFFF
 	// read, so replays are state-identical to live runs).
 	var base, trap, br, trapM, stickyM RunResult
 	cells := []Cell{
-		asmCell("E8/base-loop", trapLoop(iters, false), defaultConfig(), &base),
-		asmCell("E8/trap-loop", trapLoop(iters, true), defaultConfig(), &trap),
-		asmCell("E8/branch-squash", handlerAsm+brSrc, defaultConfig(), &br),
-		asmCell("E8/overflow-trap", handlerAsm+ovf, defaultConfig(), &trapM),
+		asmCell("E8/base-loop", trapLoop(iters, false), spec.Default(), &base),
+		asmCell("E8/trap-loop", trapLoop(iters, true), spec.Default(), &trap),
+		asmCell("E8/branch-squash", handlerAsm+brSrc, spec.Default(), &br),
+		asmCell("E8/overflow-trap", handlerAsm+ovf, spec.Default(), &trapM),
 		asmCell("E8/overflow-sticky", handlerAsm+ovf, sticky, &stickyM),
 	}
 	if err := DefaultEngine().Run(context.Background(), cells); err != nil {

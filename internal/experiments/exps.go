@@ -12,6 +12,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/reorg"
+	"repro/internal/spec"
 	"repro/internal/tinyc"
 	"repro/internal/trace"
 	"repro/internal/vaxlike"
@@ -28,7 +29,7 @@ func Table1BranchSchemes() (*Table, error) {
 		Header: []string{"branch scheme", "cycles/branch", "branches", "wasted slots"},
 	}
 	benches := table1Benchmarks()
-	cfg := defaultConfig()
+	ms := spec.Default()
 	schemes := reorg.Table1Schemes()
 	// One cell per scheme (each fans out per-benchmark sub-cells), plus the
 	// shipped configuration with profile feedback ("our most recent results
@@ -39,14 +40,14 @@ func Table1BranchSchemes() (*Table, error) {
 		i, scheme := i, scheme
 		cells[i] = Cell{ID: "E1/" + scheme.String(), Fn: func(ctx context.Context) error {
 			var err error
-			aggs[i], err = runSuite(ctx, benches, scheme, false, cfg)
+			aggs[i], err = runSuite(ctx, benches, scheme, false, ms)
 			return err
 		}}
 	}
 	last := len(schemes)
 	cells[last] = Cell{ID: "E1/profiled", Fn: func(ctx context.Context) error {
 		var err error
-		aggs[last], err = runSuite(ctx, benches, reorg.Default(), true, cfg)
+		aggs[last], err = runSuite(ctx, benches, reorg.Default(), true, ms)
 		return err
 	}}
 	if err := DefaultEngine().Run(context.Background(), cells); err != nil {
@@ -88,23 +89,25 @@ func IcacheDesign() (*Table, error) {
 	}
 	type org struct {
 		name string
-		cfg  icache.Config
+		ic   spec.ICacheSpec
 	}
-	base := icache.DefaultConfig()
+	// The organization grid derives from one preset (the shipped Icache
+	// sub-spec), varied only along the (fetch-back, miss-penalty) axis.
+	base := spec.Default().ICache
 	orgs := []org{
-		{"single fetch, 2-cycle miss", withFetch(base, 1, 2)},
-		{"double fetch, 2-cycle miss (chosen)", withFetch(base, 2, 2)},
-		{"triple fetch, 2-cycle miss", withFetch(base, 3, 2)},
-		{"double fetch, 3-cycle miss (tags off datapath)", withFetch(base, 2, 3)},
-		{"single fetch, 3-cycle miss", withFetch(base, 1, 3)},
+		{"single fetch, 2-cycle miss", base.WithFetch(1, 2)},
+		{"double fetch, 2-cycle miss (chosen)", base.WithFetch(2, 2)},
+		{"triple fetch, 2-cycle miss", base.WithFetch(3, 2)},
+		{"double fetch, 3-cycle miss (tags off datapath)", base.WithFetch(2, 3)},
+		{"single fetch, 3-cycle miss", base.WithFetch(1, 3)},
 	}
 	// One memoized cell per (organization, trace), keyed on the trace's
-	// identity plus the Icache parameters; traces are shared read-only.
+	// identity plus the Icache sub-spec digest; traces are shared read-only.
 	res := make([]fetchCost, len(orgs)*len(specs))
 	ocells := make([]Cell, len(res))
 	for k := range res {
 		o, ti := k/len(specs), k%len(specs)
-		ocells[k] = icacheCostCell(fmt.Sprintf("E2/org[%d]", k), specs[ti], orgs[o].cfg,
+		ocells[k] = icacheCostCell(fmt.Sprintf("E2/org[%d]", k), specs[ti], orgs[o].ic,
 			shared(&traces[ti]), &res[k])
 	}
 	if err := eng.Run(ctx, ocells); err != nil {
@@ -116,7 +119,7 @@ func IcacheDesign() (*Table, error) {
 			miss += res[i*len(specs)+j].Miss
 			cycles += res[i*len(specs)+j].Cycles
 		}
-		t.AddRow(o.name, miss/float64(len(specs)), cycles/float64(len(specs)), o.cfg.FetchBack)
+		t.AddRow(o.name, miss/float64(len(specs)), cycles/float64(len(specs)), o.ic.FetchBack)
 	}
 	t.Notes = append(t.Notes,
 		"fetch cycles = 1 + miss ratio × miss service (Icache stall only; Ecache adds its own)",
@@ -124,19 +127,14 @@ func IcacheDesign() (*Table, error) {
 	return t, nil
 }
 
-func withFetch(c icache.Config, fb, pen int) icache.Config {
-	c.FetchBack = fb
-	c.MissPenalty = pen
-	return c
-}
-
-// icacheCost runs a trace against an Icache over an ideal backing store so
-// only the on-chip organization is measured.
-func icacheCost(cfg icache.Config, tr []isa.Word) (missRatio, fetchCycles float64) {
+// icacheCost runs a trace against an Icache over an ideal (zero-latency,
+// effectively infinite) backing store so only the on-chip organization is
+// measured.
+func icacheCost(icSpec spec.ICacheSpec, tr []isa.Word) (missRatio, fetchCycles float64) {
 	m := mem.New()
 	bus := &mem.Bus{Latency: 0, PerWord: 0}
-	e := ecache.New(ecache.Config{SizeWords: 1 << 22, LineWords: 4, Ways: 1}, m, bus)
-	ic := icache.New(cfg, e)
+	e := ecache.New(spec.IdealBackingECache().BuildECache(), m, bus)
+	ic := icache.New(icSpec.BuildICache(), e)
 	for _, a := range tr {
 		ic.Fetch(a)
 	}
@@ -167,7 +165,7 @@ func BranchConditionStats() (*Table, error) {
 	}
 	cells = append(cells, Cell{ID: "E3/mipsx", Fn: func(ctx context.Context) error {
 		var err error
-		agg, err = runSuite(ctx, benches, reorg.Default(), false, defaultConfig())
+		agg, err = runSuite(ctx, benches, reorg.Default(), false, spec.Default())
 		return err
 	}})
 	if err := DefaultEngine().Run(context.Background(), cells); err != nil {
@@ -209,7 +207,7 @@ func BranchCacheVsStatic() (*Table, error) {
 	var big []trace.BranchEvent
 	cells := make([]Cell, 0, len(benches)+1)
 	for i, b := range benches {
-		cells = append(cells, branchTraceCell("E4/trace/"+b.Name, b, reorg.Default(), defaultConfig(), &perBench[i]))
+		cells = append(cells, branchTraceCell("E4/trace/"+b.Name, b, reorg.Default(), spec.Default(), &perBench[i]))
 	}
 	cells = append(cells, synthBranchCell("E4/synth-branches", 120_000, 400, 11, &big))
 	if err := DefaultEngine().Run(context.Background(), cells); err != nil {
@@ -305,14 +303,14 @@ func CoprocessorSchemes() (*Table, error) {
 		Header: []string{"interface", "cycles", "vs chosen", "extra pins"},
 	}
 	fp := tinyc.SuiteByClass("fp")[0]
-	nc := defaultConfig()
-	nc.Icache.NoCacheCoproc = true
+	nc := spec.Default()
+	nc.ICache.NoCacheCoproc = true
 	var chosen, noncached, direct, indirect RunResult
 	cells := []Cell{
-		benchCell("E5/chosen", fp, reorg.Default(), false, defaultConfig(), &chosen),
+		benchCell("E5/chosen", fp, reorg.Default(), false, spec.Default(), &chosen),
 		benchCell("E5/non-cached", fp, reorg.Default(), false, nc, &noncached),
-		asmCell("E5/ldf-stf", fpCopyDirect, defaultConfig(), &direct),
-		asmCell("E5/via-cpu", fpCopyViaCPU, defaultConfig(), &indirect),
+		asmCell("E5/ldf-stf", fpCopyDirect, spec.Default(), &direct),
+		asmCell("E5/via-cpu", fpCopyViaCPU, spec.Default(), &indirect),
 	}
 	if err := DefaultEngine().Run(context.Background(), cells); err != nil {
 		return nil, err
@@ -351,7 +349,7 @@ func SustainedThroughput() (*Table, error) {
 		Paper:  "no-ops: 15.6% Pascal, 18.3% Lisp; ~1.7 cycles/instruction; >11 sustained MIPS (peak 20)",
 		Header: []string{"metric", "pascal", "lisp"},
 	}
-	cfg := defaultConfig()
+	ms := spec.Default()
 	// Six independent cells: the two compiled suites, the two large
 	// instruction traces, and the two multiprogrammed data traces (the
 	// per-reference Ecache stall is independent of the suites; it is scaled
@@ -360,29 +358,29 @@ func SustainedThroughput() (*Table, error) {
 	// Icache closures are the same as E2's chosen-organization cells, so
 	// even a cold suite pass shares those simulations. The traces
 	// themselves materialize lazily through nested artifact cells.
-	specPas := synthTrace(trace.PascalSynth(0), 300_000)
-	specLis := synthTrace(trace.LispSynth(0), 300_000)
+	tsPas := synthTrace(trace.PascalSynth(0), 300_000)
+	tsLis := synthTrace(trace.LispSynth(0), 300_000)
 	var pas, lis suiteStats
 	var icost [2]fetchCost
 	var esweep [2]ecacheSweep
 	cells := []Cell{
 		{ID: "E6/suite/pascal", Fn: func(ctx context.Context) error {
 			var err error
-			pas, err = runSuite(ctx, tinyc.SuiteByClass("pascal"), reorg.Default(), true, cfg)
+			pas, err = runSuite(ctx, tinyc.SuiteByClass("pascal"), reorg.Default(), true, ms)
 			return err
 		}},
 		{ID: "E6/suite/lisp", Fn: func(ctx context.Context) error {
 			var err error
-			lis, err = runSuite(ctx, tinyc.SuiteByClass("lisp"), reorg.Default(), true, cfg)
+			lis, err = runSuite(ctx, tinyc.SuiteByClass("lisp"), reorg.Default(), true, ms)
 			return err
 		}},
-		icacheCostCell("E6/icache/pascal", specPas, icache.DefaultConfig(),
-			specPas.materialize("E6/icache/pascal/trace"), &icost[0]),
-		icacheCostCell("E6/icache/lisp", specLis, icache.DefaultConfig(),
-			specLis.materialize("E6/icache/lisp/trace"), &icost[1]),
-		ecacheSweepCell("E6/ecache/pascal", multiprogSpec(1), ecache.DefaultConfig(), false,
+		icacheCostCell("E6/icache/pascal", tsPas, spec.Default().ICache,
+			tsPas.materialize("E6/icache/pascal/trace"), &icost[0]),
+		icacheCostCell("E6/icache/lisp", tsLis, spec.Default().ICache,
+			tsLis.materialize("E6/icache/lisp/trace"), &icost[1]),
+		ecacheSweepCell("E6/ecache/pascal", multiprogSpec(1), spec.DefaultECache(), false,
 			multiprogSpec(1).materialize("E6/ecache/pascal/trace"), &esweep[0]),
-		ecacheSweepCell("E6/ecache/lisp", multiprogSpec(2), ecache.DefaultConfig(), false,
+		ecacheSweepCell("E6/ecache/lisp", multiprogSpec(2), spec.DefaultECache(), false,
 			multiprogSpec(2).materialize("E6/ecache/lisp/trace"), &esweep[1]),
 	}
 	if err := DefaultEngine().Run(context.Background(), cells); err != nil {
@@ -452,7 +450,7 @@ func VAXComparison() (*Table, error) {
 	cells := make([]Cell, 0, 2*len(benches))
 	for i, b := range benches {
 		cells = append(cells,
-			benchCell("E7/mipsx/"+b.Name, b, reorg.Default(), true, defaultConfig(), &risc[i]),
+			benchCell("E7/mipsx/"+b.Name, b, reorg.Default(), true, spec.Default(), &risc[i]),
 			vaxCell("E7/vax/"+b.Name, b.Source, 200_000_000, &cisc[i]))
 	}
 	if err := DefaultEngine().Run(context.Background(), cells); err != nil {
@@ -504,7 +502,7 @@ func MemoryBandwidth() (*Table, error) {
 	rs := make([]RunResult, len(benches))
 	cells := make([]Cell, len(benches))
 	for i, b := range benches {
-		cells[i] = benchCell("E9/"+b.Name, b, reorg.Default(), false, defaultConfig(), &rs[i])
+		cells[i] = benchCell("E9/"+b.Name, b, reorg.Default(), false, spec.Default(), &rs[i])
 	}
 	if err := DefaultEngine().Run(context.Background(), cells); err != nil {
 		return nil, err
@@ -543,7 +541,7 @@ func EcacheAblations() (*Table, error) {
 	// The multiprogrammed trace is a composite artifact: the interleave and
 	// both members are content-addressed, so a hot run decodes the recorded
 	// stream instead of synthesizing it.
-	spec := traceSpec{
+	ts := traceSpec{
 		Members: []synthSpec{
 			{Cfg: trace.PascalSynth(64 * 1024), Refs: 120_000},
 			{Cfg: trace.LispSynth(64 * 1024), Refs: 120_000},
@@ -551,47 +549,45 @@ func EcacheAblations() (*Table, error) {
 		Quantum: 10_000,
 	}
 	var tr []isa.Word
-	if err := eng.Run(ctx, []Cell{spec.cell("E10/trace", &tr)}); err != nil {
+	if err := eng.Run(ctx, []Cell{ts.cell("E10/trace", &tr)}); err != nil {
 		return nil, err
 	}
+	// Every row derives from the one SweepECache preset, so the ablations
+	// can never drift from each other's baseline.
 	type ablation struct {
 		name   string
-		cfg    ecache.Config
+		ec     spec.ECacheSpec
 		writes bool
 	}
 	var abls []ablation
 	for _, size := range []int{4096, 16384, 65536} {
-		cfg := ecache.Config{SizeWords: size, LineWords: 4, Ways: 2, Repl: ecache.LRU, Write: ecache.CopyBack}
-		abls = append(abls, ablation{fmt.Sprintf("LRU %dK words", size/1024), cfg, false})
+		abls = append(abls, ablation{fmt.Sprintf("LRU %dK words", size/1024),
+			spec.SweepECache().WithSizeWords(size), false})
 	}
 	abls = append(abls,
-		ablation{"FIFO 16K words", ecache.Config{SizeWords: 16384, LineWords: 4, Ways: 2, Repl: ecache.FIFO, Write: ecache.CopyBack}, false},
-		ablation{"Random 16K words", ecache.Config{SizeWords: 16384, LineWords: 4, Ways: 2, Repl: ecache.Random, Write: ecache.CopyBack}, false})
-	cb := ecache.Config{SizeWords: 16384, LineWords: 4, Ways: 2, Repl: ecache.LRU, Write: ecache.CopyBack}
-	abls = append(abls, ablation{"copy-back 16K, 20% writes", cb, true})
-	wt := cb
-	wt.Write = ecache.WriteThrough
-	abls = append(abls, ablation{"write-through 16K, 20% writes", wt, true})
+		ablation{"FIFO 16K words", spec.SweepECache().WithRepl(spec.ReplFIFO), false},
+		ablation{"Random 16K words", spec.SweepECache().WithRepl(spec.ReplRandom), false},
+		ablation{"copy-back 16K, 20% writes", spec.SweepECache(), true},
+		ablation{"write-through 16K, 20% writes", spec.SweepECache().WithWrite(spec.WriteThrough), true})
 	// Smith's fetch algorithms (survey §2.1): one-block-lookahead prefetch.
 	for _, p := range []struct {
-		name string
-		f    ecache.Prefetch
+		name  string
+		fetch string
 	}{
-		{"demand fetch 16K", ecache.PrefetchNone},
-		{"always prefetch 16K", ecache.PrefetchAlways},
-		{"prefetch on miss 16K", ecache.PrefetchOnMiss},
-		{"tagged prefetch 16K", ecache.PrefetchTagged},
+		{"demand fetch 16K", spec.FetchDemand},
+		{"always prefetch 16K", spec.FetchAlways},
+		{"prefetch on miss 16K", spec.FetchOnMiss},
+		{"tagged prefetch 16K", spec.FetchTagged},
 	} {
-		cfg := ecache.Config{SizeWords: 16384, LineWords: 8, Ways: 2,
-			Repl: ecache.LRU, Write: ecache.CopyBack, Fetch: p.f}
-		abls = append(abls, ablation{p.name, cfg, false})
+		abls = append(abls, ablation{p.name,
+			spec.SweepECache().WithLineWords(8).WithPrefetch(p.fetch), false})
 	}
 	// One memoized cell per configuration over the shared read-only trace,
-	// keyed on the composite trace's identity plus the Ecache parameters.
+	// keyed on the composite trace's identity plus the Ecache sub-spec.
 	res := make([]ecacheSweep, len(abls))
 	cells := make([]Cell, len(abls))
 	for i := range abls {
-		cells[i] = ecacheSweepCell(fmt.Sprintf("E10/abl[%d]", i), spec, abls[i].cfg, abls[i].writes,
+		cells[i] = ecacheSweepCell(fmt.Sprintf("E10/abl[%d]", i), ts, abls[i].ec, abls[i].writes,
 			shared(&tr), &res[i])
 	}
 	if err := eng.Run(ctx, cells); err != nil {

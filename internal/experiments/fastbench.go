@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/reorg"
+	"repro/internal/spec"
 	"repro/internal/tinyc"
 )
 
@@ -67,8 +68,10 @@ func MeasureFastTier() (*FastTierBench, error) {
 			if err != nil {
 				return 0, 0, 0, 0, err
 			}
-			cfg := core.DefaultConfig()
-			cfg.Pipeline.BranchSlots = c.scheme.Slots
+			cfg, err := spec.Table1(c.scheme).Build()
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
 			cfg.Icache.Predecode = fast // interpreter-only means no decode cache either
 			cfg.FastTier = fast
 			m := core.New(cfg, nil)

@@ -13,11 +13,15 @@ package experiments
 //
 // The closure rule for key builders: hash every input that can change the
 // simulated outcome, and nothing that cannot (worker counts, wall-clock
-// budgets, whether predecode is a fast path — though the Icache config,
-// predecode included, is hashed anyway: over-hashing only costs a cache
-// miss, under-hashing costs correctness). Bump memoEpoch whenever the
-// simulator's semantics change, so stale on-disk entries from older
-// binaries can never replay into new tables.
+// budgets, the predecode and fast-tier simulator fast paths). Machine
+// configurations enter keys as spec digests (internal/spec): a MachineSpec
+// *is* a memo key, its digest covers every architectural config field (the
+// field-coverage guard test in internal/spec red-flags a new field that is
+// neither digested nor allowlisted as timing-neutral), and the
+// timing-neutral knobs are excluded by construction so fast and accurate
+// runs share entries. Bump memoEpoch whenever the simulator's semantics
+// change, so stale on-disk entries from older binaries can never replay
+// into new tables.
 
 import (
 	"crypto/sha256"
@@ -32,7 +36,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/trace"
 )
@@ -43,8 +46,10 @@ const memoSchema = "mipsx-memo/v1"
 // memoEpoch is folded into every key. Bump it when simulator semantics
 // change (cycle accounting, pipeline behaviour, toolchain output), so that
 // on-disk caches recorded by older binaries miss instead of replaying
-// stale results.
-const memoEpoch = 2
+// stale results. Epoch 3: machine configurations hash as MachineSpec
+// digests instead of struct renderings (the results are unchanged, but
+// every key derivation is new).
+const memoEpoch = 3
 
 // memoEntry is one recorded cell result.
 type memoEntry struct {
@@ -229,20 +234,6 @@ func (k *keyBuilder) synth(label string, cfg trace.SynthConfig, refs int) *keyBu
 	k.num(label+".maxdepth", uint64(cfg.MaxDepth))
 	k.num(label+".seed", uint64(cfg.Seed))
 	k.num(label+".refs", uint64(refs))
-	return k
-}
-
-// config hashes the full machine configuration. The value structs
-// (pipeline/icache/ecache configs) contain only scalar fields, so their
-// %+v rendering is stable; the bus is reduced to its timing parameters
-// (the counters and the multiprocessor arbiter hooks are run state, not
-// configuration).
-func (k *keyBuilder) config(cfg core.Config) *keyBuilder {
-	k.str("cfg.pipeline", fmt.Sprintf("%+v", cfg.Pipeline))
-	k.str("cfg.icache", fmt.Sprintf("%+v", cfg.Icache))
-	k.str("cfg.ecache", fmt.Sprintf("%+v", cfg.Ecache))
-	k.str("cfg.bus", fmt.Sprintf("%d/%d", cfg.Bus.Latency, cfg.Bus.PerWord))
-	k.str("cfg.nofpu", fmt.Sprint(cfg.NoFPU))
 	return k
 }
 

@@ -8,8 +8,8 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/reorg"
+	"repro/internal/spec"
 	"repro/internal/tinyc"
 )
 
@@ -54,7 +54,7 @@ main:	add r1, r0, r0
 	nop
 `
 	start := time.Now()
-	_, err := runAsm(context.Background(), runaway, defaultConfig())
+	_, err := runAsm(context.Background(), runaway, spec.Default())
 	if err == nil {
 		t.Fatal("runaway program reported success")
 	}
@@ -158,7 +158,7 @@ func TestMemoColdThenHotDeterministic(t *testing.T) {
 // closures are identical.
 func TestMemoKeysCoverTheClosure(t *testing.T) {
 	b := tinyc.Benchmarks()[0]
-	base := defaultConfig()
+	base := spec.Default()
 	seen := map[string]string{}
 	add := func(name, key string) {
 		if prev, ok := seen[key]; ok {
@@ -166,8 +166,8 @@ func TestMemoKeysCoverTheClosure(t *testing.T) {
 		}
 		seen[key] = name
 	}
-	mustKey := func(name, kind string, bench tinyc.Benchmark, scheme reorg.Scheme, cfg core.Config) {
-		k, err := benchKey(kind, bench, scheme, cfg)
+	mustKey := func(name, kind string, bench tinyc.Benchmark, scheme reorg.Scheme, ms spec.MachineSpec) {
+		k, err := benchKey(kind, bench, scheme, ms)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,13 +177,18 @@ func TestMemoKeysCoverTheClosure(t *testing.T) {
 	mustKey("profiled/default", "run-profiled", b, reorg.Default(), base)
 	mustKey("run/1-slot", "run", b, reorg.Scheme{Slots: 1, Squash: reorg.SquashOptional}, base)
 
-	// Config changes change the key.
+	// Spec changes change the key (the digest covers every spec field; the
+	// field-coverage guard in internal/spec proves the digest covers every
+	// architectural core.Config field).
 	nofpu := base
 	nofpu.NoFPU = true
 	mustKey("run/nofpu", "run", b, reorg.Default(), nofpu)
-	flipped := base
-	flipped.Icache.Predecode = !flipped.Icache.Predecode
-	mustKey("run/predecode-flipped", "run", b, reorg.Default(), flipped)
+	smallIC := base
+	smallIC.ICache.Sets = 8
+	mustKey("run/icache-sets", "run", b, reorg.Default(), smallIC)
+	fifo := base
+	fifo.ECache.Repl = spec.ReplFIFO
+	mustKey("run/ecache-fifo", "run", b, reorg.Default(), fifo)
 
 	// Different benchmarks never share a key.
 	mustKey("run/other-bench", "run", tinyc.Benchmarks()[1], reorg.Default(), base)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/reorg"
+	"repro/internal/spec"
 )
 
 // TestConservationEveryBenchmarkEveryScheme runs the full Table 1 grid and
@@ -90,7 +91,7 @@ func TestMemoReplaysAttributionByteIdentical(t *testing.T) {
 		e := &Engine{Record: true, Store: store}
 		defaultEngine.Store(e)
 		var out RunResult
-		cell := benchCell("memo-attr/"+b.Name, b, scheme, false, defaultConfig(), &out)
+		cell := benchCell("memo-attr/"+b.Name, b, scheme, false, spec.Default(), &out)
 		if err := e.Run(context.Background(), []Cell{cell}); err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func TestBenchDocConservation(t *testing.T) {
 	e := &Engine{Record: true}
 	defaultEngine.Store(e)
 	var out RunResult
-	cell := benchCell("doc-attr", table1Benchmarks()[0], reorg.Default(), false, defaultConfig(), &out)
+	cell := benchCell("doc-attr", table1Benchmarks()[0], reorg.Default(), false, spec.Default(), &out)
 	if err := e.Run(context.Background(), []Cell{cell}); err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/lint"
 	"repro/internal/obs"
 	"repro/internal/reorg"
+	"repro/internal/spec"
 	"repro/internal/tinyc"
 	"repro/internal/trace"
 	"repro/internal/vaxlike"
@@ -26,13 +27,28 @@ const runLimit = 50_000_000
 // granularity (Machine.Run is resumable across calls).
 const runChunk = 2_000_000
 
-// defaultConfig is core.DefaultConfig with the package-level predecode knob
-// applied (see SetPredecode); every experiment builds machines from it.
-func defaultConfig() core.Config {
-	cfg := core.DefaultConfig()
+// buildConfig realizes a machine spec into the core.Config the simulator
+// runs, with the package-level simulator-speed knobs applied (predecode and
+// the fast tier are bit-identical fast paths, deliberately outside the spec
+// and its digest — see SetPredecode/SetFastTier). Every experiment builds
+// machines through here, so a spec is the whole architectural closure.
+// Presets are valid by construction; a hand-rolled invalid spec panics,
+// which the engine isolates into a cell error.
+func buildConfig(ms spec.MachineSpec) core.Config {
+	cfg, err := ms.Build()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
 	cfg.Icache.Predecode = usePredecode.Load()
 	cfg.FastTier = useFastTier.Load()
 	return cfg
+}
+
+// defaultConfig is the default spec realized with the package knobs — for
+// the tests and overhead measurements that construct machines directly;
+// experiment cells carry specs instead.
+func defaultConfig() core.Config {
+	return buildConfig(spec.Default())
 }
 
 // runMachine runs m until it halts or runLimit cycles pass, in runChunk
@@ -137,9 +153,10 @@ func buildCached(b tinyc.Benchmark, scheme reorg.Scheme) (*asm.Image, error) {
 }
 
 // run builds a tinyc benchmark for the scheme and runs it to completion on
-// a machine with the given configuration (BranchSlots is forced to match
-// the scheme). Returns the machine for its statistics.
-func run(ctx context.Context, b tinyc.Benchmark, scheme reorg.Scheme, prof reorg.Profile, cfg core.Config) (*core.Machine, error) {
+// a machine realized from the spec (the branch scheme is applied to the
+// spec, so slots always match the toolchain). Returns the machine for its
+// statistics.
+func run(ctx context.Context, b tinyc.Benchmark, scheme reorg.Scheme, prof reorg.Profile, ms spec.MachineSpec) (*core.Machine, error) {
 	var im *asm.Image
 	var err error
 	if prof == nil {
@@ -150,8 +167,7 @@ func run(ctx context.Context, b tinyc.Benchmark, scheme reorg.Scheme, prof reorg
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
-	cfg.Pipeline.BranchSlots = scheme.Slots
-	m := core.New(cfg, nil)
+	m := core.New(buildConfig(ms.WithScheme(scheme)), nil)
 	m.Load(im)
 	pcProf := obs.NewPCProfile(uint32(im.Base), len(im.Words))
 	m.CPU.Prof = pcProf
@@ -196,14 +212,12 @@ func crossCheckCost(im *asm.Image, slots int, m *core.Machine, pcProf *obs.PCPro
 // runProfiled runs twice: once to collect a branch profile, then rebuilt
 // with the profile — the paper's "static prediction (possibly with
 // profiling)" toolchain.
-func runProfiled(ctx context.Context, b tinyc.Benchmark, scheme reorg.Scheme, cfg core.Config) (*core.Machine, error) {
+func runProfiled(ctx context.Context, b tinyc.Benchmark, scheme reorg.Scheme, ms spec.MachineSpec) (*core.Machine, error) {
 	im, err := buildCached(b, scheme)
 	if err != nil {
 		return nil, err
 	}
-	c1 := cfg
-	c1.Pipeline.BranchSlots = scheme.Slots
-	m1 := core.New(c1, nil)
+	m1 := core.New(buildConfig(ms.WithScheme(scheme)), nil)
 	m1.Load(im)
 	var rec trace.Recorder
 	rec.DiscardInstrs = true // only branches matter for the profile
@@ -212,7 +226,7 @@ func runProfiled(ctx context.Context, b tinyc.Benchmark, scheme reorg.Scheme, cf
 		return nil, err
 	}
 	prof := trace.Profile(im, rec.Branches)
-	return run(ctx, b, scheme, prof, cfg)
+	return run(ctx, b, scheme, prof, ms)
 }
 
 // ---------------------------------------------------------------------------
@@ -271,12 +285,15 @@ type VAXResult struct {
 
 // benchKey hashes the full input closure of a tinyc benchmark run: the
 // assembled program words (covering source, compiler and reorganizer
-// output), the scheme parameters, and the machine configuration exactly as
-// run() applies it. A profiled run's profile is itself a deterministic
-// function of this closure (it is measured by simulating the unprofiled
-// image under the same config), so the closure needs no separate profile
-// hash — the kind string distinguishes the two pipelines.
-func benchKey(kind string, b tinyc.Benchmark, scheme reorg.Scheme, cfg core.Config) (string, error) {
+// output), the scheme parameters, and the machine spec's digest — run()
+// realizes the machine from exactly the spec hashed here (scheme applied),
+// and the spec digest covers every architectural config field (the
+// field-coverage guard test in internal/spec pins that). A profiled run's
+// profile is itself a deterministic function of this closure (it is
+// measured by simulating the unprofiled image under the same spec), so the
+// closure needs no separate profile hash — the kind string distinguishes
+// the two pipelines.
+func benchKey(kind string, b tinyc.Benchmark, scheme reorg.Scheme, ms spec.MachineSpec) (string, error) {
 	im, err := buildCached(b, scheme)
 	if err != nil {
 		return "", err
@@ -286,15 +303,14 @@ func benchKey(kind string, b tinyc.Benchmark, scheme reorg.Scheme, cfg core.Conf
 	k.str("source", b.Source)
 	k.str("scheme", scheme.String())
 	k.num("image-base", uint64(im.Base)).words("image", im.Words)
-	cfg.Pipeline.BranchSlots = scheme.Slots // run() forces this before simulating
-	k.config(cfg)
+	k.str("spec", ms.WithScheme(scheme).Digest())
 	return k.sum(), nil
 }
 
 // benchCell builds a memoizable cell that runs benchmark b under scheme on
-// cfg (with profile feedback when profiled) and deposits the result in
-// *out.
-func benchCell(id string, b tinyc.Benchmark, scheme reorg.Scheme, profiled bool, cfg core.Config, out *RunResult) Cell {
+// the machine the spec names (with profile feedback when profiled) and
+// deposits the result in *out.
+func benchCell(id string, b tinyc.Benchmark, scheme reorg.Scheme, profiled bool, ms spec.MachineSpec, out *RunResult) Cell {
 	kind := "run"
 	if profiled {
 		kind = "run-profiled"
@@ -305,9 +321,9 @@ func benchCell(id string, b tinyc.Benchmark, scheme reorg.Scheme, profiled bool,
 			var m *core.Machine
 			var err error
 			if profiled {
-				m, err = runProfiled(ctx, b, scheme, cfg)
+				m, err = runProfiled(ctx, b, scheme, ms)
 			} else {
-				m, err = run(ctx, b, scheme, nil, cfg)
+				m, err = run(ctx, b, scheme, nil, ms)
 			}
 			if err != nil {
 				return err
@@ -316,7 +332,7 @@ func benchCell(id string, b tinyc.Benchmark, scheme reorg.Scheme, profiled bool,
 			return nil
 		},
 		Memo: &CellMemo{
-			Key:  func() (string, error) { return benchKey(kind, b, scheme, cfg) },
+			Key:  func() (string, error) { return benchKey(kind, b, scheme, ms) },
 			Save: func() (any, error) { return out, nil },
 			Load: func(data []byte) error { return json.Unmarshal(data, out) },
 		},
@@ -324,12 +340,12 @@ func benchCell(id string, b tinyc.Benchmark, scheme reorg.Scheme, profiled bool,
 }
 
 // asmCell builds a memoizable cell that assembles and runs hand-written
-// (already scheduled) assembly on cfg.
-func asmCell(id, src string, cfg core.Config, out *RunResult) Cell {
+// (already scheduled) assembly on the machine the spec names.
+func asmCell(id, src string, ms spec.MachineSpec, out *RunResult) Cell {
 	return Cell{
 		ID: id,
 		Fn: func(ctx context.Context) error {
-			m, err := runAsm(ctx, src, cfg)
+			m, err := runAsm(ctx, src, ms)
 			if err != nil {
 				return err
 			}
@@ -345,7 +361,7 @@ func asmCell(id, src string, cfg core.Config, out *RunResult) Cell {
 				k := newKey("asm")
 				k.str("source", src)
 				k.num("image-base", uint64(im.Base)).words("image", im.Words)
-				k.config(cfg)
+				k.str("spec", ms.Digest())
 				return k.sum(), nil
 			},
 			Save: func() (any, error) { return out, nil },
@@ -387,7 +403,7 @@ func vaxCell(id, src string, maxInstr uint64, out *VAXResult) Cell {
 
 // branchTraceCell builds a memoizable cell that runs benchmark b and
 // records its dynamic branch outcomes (E4's predictor inputs).
-func branchTraceCell(id string, b tinyc.Benchmark, scheme reorg.Scheme, cfg core.Config, out *[]trace.BranchEvent) Cell {
+func branchTraceCell(id string, b tinyc.Benchmark, scheme reorg.Scheme, ms spec.MachineSpec, out *[]trace.BranchEvent) Cell {
 	return Cell{
 		ID: id,
 		Fn: func(ctx context.Context) error {
@@ -395,9 +411,7 @@ func branchTraceCell(id string, b tinyc.Benchmark, scheme reorg.Scheme, cfg core
 			if err != nil {
 				return err
 			}
-			c := cfg
-			c.Pipeline.BranchSlots = scheme.Slots
-			m := core.New(c, nil)
+			m := core.New(buildConfig(ms.WithScheme(scheme)), nil)
 			m.Load(im)
 			var rec trace.Recorder
 			rec.DiscardInstrs = true // only the branch stream feeds E4
@@ -409,7 +423,7 @@ func branchTraceCell(id string, b tinyc.Benchmark, scheme reorg.Scheme, cfg core
 			return nil
 		},
 		Memo: &CellMemo{
-			Key:  func() (string, error) { return benchKey("branch-trace", b, scheme, cfg) },
+			Key:  func() (string, error) { return benchKey("branch-trace", b, scheme, ms) },
 			Save: func() (any, error) { return out, nil },
 			Load: func(data []byte) error { return json.Unmarshal(data, out) },
 		},
@@ -469,11 +483,11 @@ func (s *suiteStats) cpi() float64 {
 
 // runSuite runs the benchmarks under one scheme, one memoizable engine
 // cell per benchmark, and aggregates in submission order after the fan-in.
-func runSuite(ctx context.Context, benches []tinyc.Benchmark, scheme reorg.Scheme, profiled bool, cfg core.Config) (suiteStats, error) {
+func runSuite(ctx context.Context, benches []tinyc.Benchmark, scheme reorg.Scheme, profiled bool, ms spec.MachineSpec) (suiteStats, error) {
 	rs := make([]RunResult, len(benches))
 	cells := make([]Cell, len(benches))
 	for i, b := range benches {
-		cells[i] = benchCell(fmt.Sprintf("suite/%s/%s", scheme, b.Name), b, scheme, profiled, cfg, &rs[i])
+		cells[i] = benchCell(fmt.Sprintf("suite/%s/%s", scheme, b.Name), b, scheme, profiled, ms, &rs[i])
 	}
 	var agg suiteStats
 	if err := DefaultEngine().Run(ctx, cells); err != nil {
@@ -486,20 +500,20 @@ func runSuite(ctx context.Context, benches []tinyc.Benchmark, scheme reorg.Schem
 }
 
 // runAsm assembles and runs hand-written (already scheduled) assembly on
-// the given configuration.
-func runAsm(ctx context.Context, src string, cfg core.Config) (*core.Machine, error) {
+// the machine the spec names.
+func runAsm(ctx context.Context, src string, ms spec.MachineSpec) (*core.Machine, error) {
 	im, err := asm.AssembleSource(src, 0)
 	if err != nil {
 		return nil, err
 	}
-	m := core.New(cfg, nil)
+	m := core.New(buildConfig(ms), nil)
 	m.Load(im)
 	pcProf := obs.NewPCProfile(uint32(im.Base), len(im.Words))
 	m.CPU.Prof = pcProf
 	if err := runMachine(ctx, m); err != nil {
 		return nil, err
 	}
-	if err := crossCheckCost(im, cfg.Pipeline.BranchSlots, m, pcProf); err != nil {
+	if err := crossCheckCost(im, ms.Branch.Slots, m, pcProf); err != nil {
 		return nil, err
 	}
 	return m, nil

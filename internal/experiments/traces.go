@@ -18,9 +18,9 @@ import (
 
 	"repro/internal/bpred"
 	"repro/internal/ecache"
-	"repro/internal/icache"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/spec"
 	"repro/internal/trace"
 )
 
@@ -163,8 +163,9 @@ type fetchCost struct {
 
 // icacheCostCell sweeps a trace through an Icache organization (E2's
 // design grid, E6's large-program fetch stalls — identical closures hash
-// identically, so the two experiments share cells).
-func icacheCostCell(id string, spec traceSpec, cfg icache.Config,
+// identically, so the two experiments share cells). The organization is an
+// Icache sub-spec; its digest is the key's configuration material.
+func icacheCostCell(id string, ts traceSpec, ic spec.ICacheSpec,
 	src func(ctx context.Context) ([]isa.Word, error), out *fetchCost) Cell {
 	return Cell{
 		ID: id,
@@ -173,14 +174,14 @@ func icacheCostCell(id string, spec traceSpec, cfg icache.Config,
 			if err != nil {
 				return err
 			}
-			out.Miss, out.Cycles = icacheCost(cfg, tr)
+			out.Miss, out.Cycles = icacheCost(ic, tr)
 			return nil
 		},
 		Memo: &CellMemo{
 			Key: func() (string, error) {
 				k := newKey("icache-cost")
-				k.str("trace", spec.key())
-				k.str("cfg.icache", fmt.Sprintf("%+v", cfg))
+				k.str("trace", ts.key())
+				k.str("icache-spec", ic.Digest())
 				return k.sum(), nil
 			},
 			Save: func() (any, error) { return out, nil },
@@ -200,11 +201,12 @@ type ecacheSweep struct {
 	BusPerKiloRef float64 `json:"bus_per_kilo_ref"`
 }
 
-// ecacheSweepCell sweeps a trace through an Ecache configuration over the
-// default bus, optionally turning every fifth reference into a write (the
-// 20% write mix of the write-policy ablations). The write mix's shape is
-// generator semantics, covered by memoEpoch like the synthesizers'.
-func ecacheSweepCell(id string, spec traceSpec, cfg ecache.Config, writes bool,
+// ecacheSweepCell sweeps a trace through an Ecache organization (a
+// sub-spec, digested into the key) over the default bus, optionally turning
+// every fifth reference into a write (the 20% write mix of the write-policy
+// ablations). The write mix's shape is generator semantics, covered by
+// memoEpoch like the synthesizers'.
+func ecacheSweepCell(id string, ts traceSpec, ec spec.ECacheSpec, writes bool,
 	src func(ctx context.Context) ([]isa.Word, error), out *ecacheSweep) Cell {
 	return Cell{
 		ID: id,
@@ -215,7 +217,7 @@ func ecacheSweepCell(id string, spec traceSpec, cfg ecache.Config, writes bool,
 			}
 			m := mem.New()
 			bus := mem.DefaultBus()
-			e := ecache.New(cfg, m, bus)
+			e := ecache.New(ec.BuildECache(), m, bus)
 			for k, a := range tr {
 				if writes && k%5 == 0 {
 					e.Write(a, 1)
@@ -232,8 +234,8 @@ func ecacheSweepCell(id string, spec traceSpec, cfg ecache.Config, writes bool,
 			Key: func() (string, error) {
 				bus := mem.DefaultBus()
 				k := newKey("ecache-sweep")
-				k.str("trace", spec.key())
-				k.str("cfg.ecache", fmt.Sprintf("%+v", cfg))
+				k.str("trace", ts.key())
+				k.str("ecache-spec", ec.Digest())
 				k.str("bus", fmt.Sprintf("%d/%d", bus.Latency, bus.PerWord))
 				k.num("writes", boolBit(writes))
 				return k.sum(), nil

@@ -6,9 +6,8 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/ecache"
-	"repro/internal/icache"
 	"repro/internal/isa"
+	"repro/internal/spec"
 	"repro/internal/trace"
 )
 
@@ -81,11 +80,11 @@ func TestTraceArtifactColdThenHot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec := synthTrace(trace.LispSynth(0), 30_000)
+	ts := synthTrace(trace.LispSynth(0), 30_000)
 	run := func() ([]isa.Word, *Engine) {
 		e := &Engine{Workers: 1, Store: store}
 		var tr []isa.Word
-		if err := e.Run(context.Background(), []Cell{spec.cell("t", &tr)}); err != nil {
+		if err := e.Run(context.Background(), []Cell{ts.cell("t", &tr)}); err != nil {
 			t.Fatal(err)
 		}
 		return tr, e
@@ -118,7 +117,7 @@ func TestCompositeTraceReplaysWholeClosure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec := traceSpec{Members: []synthSpec{
+	ts := traceSpec{Members: []synthSpec{
 		{Cfg: trace.PascalSynth(8 * 1024), Refs: 20_000},
 		{Cfg: trace.LispSynth(8 * 1024), Refs: 20_000},
 	}, Quantum: 1000}
@@ -127,7 +126,7 @@ func TestCompositeTraceReplaysWholeClosure(t *testing.T) {
 		e := Configure(1, 0, false)
 		e.Store = store
 		var tr []isa.Word
-		if err := e.Run(context.Background(), []Cell{spec.cell("mp", &tr)}); err != nil {
+		if err := e.Run(context.Background(), []Cell{ts.cell("mp", &tr)}); err != nil {
 			t.Fatal(err)
 		}
 		return tr, e
@@ -211,20 +210,16 @@ func TestTraceKeysCoverTheClosure(t *testing.T) {
 		return k
 	}
 	var fc fetchCost
-	icfg := icache.DefaultConfig()
+	icfg := spec.Default().ICache
 	add("icache/base", keyOf(icacheCostCell("x", single, icfg, shared(nil), &fc)))
 	add("icache/other-trace", keyOf(icacheCostCell("x", comp, icfg, shared(nil), &fc)))
-	icfg2 := icfg
-	icfg2.FetchBack = 1
-	add("icache/other-cfg", keyOf(icacheCostCell("x", single, icfg2, shared(nil), &fc)))
+	add("icache/other-cfg", keyOf(icacheCostCell("x", single, icfg.WithFetch(1, icfg.MissPenalty), shared(nil), &fc)))
 
 	var es ecacheSweep
-	ecfg := ecache.DefaultConfig()
+	ecfg := spec.DefaultECache()
 	add("ecache/base", keyOf(ecacheSweepCell("x", single, ecfg, false, shared(nil), &es)))
 	add("ecache/writes", keyOf(ecacheSweepCell("x", single, ecfg, true, shared(nil), &es)))
-	ecfg2 := ecfg
-	ecfg2.LineWords *= 2
-	add("ecache/other-cfg", keyOf(ecacheSweepCell("x", single, ecfg2, false, shared(nil), &es)))
+	add("ecache/other-cfg", keyOf(ecacheSweepCell("x", single, ecfg.WithLineWords(2*ecfg.LineWords), false, shared(nil), &es)))
 
 	// Branch artifacts and predictor rows.
 	var evs []trace.BranchEvent
