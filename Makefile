@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet vet-extra vulncheck race lint-suite cost-gate fast-gate fuzz bench bench-hot trace-sample explore-smoke explore-baseline
+.PHONY: check build test vet vet-extra vulncheck race lint-suite cost-gate fast-gate fuzz bench bench-hot trace-sample explore-smoke explore-baseline scenario-gate scenario-baseline
 
-check: vet vet-extra vulncheck build test race lint-suite cost-gate explore-smoke
+check: vet vet-extra vulncheck build test race lint-suite cost-gate explore-smoke scenario-gate
 
 build:
 	$(GO) build ./...
@@ -120,3 +120,17 @@ explore-smoke:
 # Reseed the explorer golden document (deliberate changes only).
 explore-baseline:
 	$(GO) run ./cmd/mipsx-explore $(EXPLORE_ARGS) -json > EXPLORE_baseline.json
+
+# Multiprogramming scenario gate: the default (workload × quantum × policy)
+# grid must reproduce the recorded mipsx-scenario/v1 document byte-for-byte.
+# Every cell is conservation-verified inside scenario.Run (the shared ledger
+# must equal per-context cycles + switch overhead + flush stalls), and the
+# pid-policy cells must charge zero context-switch/flush-refill cycles —
+# mipsx-bench re-checks that invariant before comparing, so a reseeded
+# baseline cannot smuggle it away.
+scenario-gate:
+	$(GO) run ./cmd/mipsx-bench -scenario -check SCENARIO_baseline.json
+
+# Reseed the scenario golden document (deliberate changes only).
+scenario-baseline:
+	$(GO) run ./cmd/mipsx-bench -scenario -json > SCENARIO_baseline.json

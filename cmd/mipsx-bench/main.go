@@ -21,6 +21,11 @@
 //	                                     # fast-gate differential wall: tables
 //	                                     # AND cycle totals AND attribution
 //	                                     # must match the baseline exactly
+//	mipsx-bench -scenario                # multiprogramming sweep: workload ×
+//	                                     # quantum × Icache switch policy
+//	mipsx-bench -scenario -check SCENARIO_baseline.json
+//	                                     # byte-exact golden gate on the
+//	                                     # scenario document
 //
 // Every run checks cycle-attribution conservation: the engine-wide
 // attribution (summed over live and replayed cells) must equal
@@ -36,6 +41,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -84,6 +91,8 @@ func main() {
 		"measure the fast tier's cold-cell suite speedup and record it in the report")
 	checkAttr := flag.Bool("check-attr", false,
 		"with -check: also require cycle totals and the attribution breakdown to match the baseline exactly")
+	scenarioMode := flag.Bool("scenario", false,
+		"run the multiprogramming scenario sweep (workload × quantum × Icache switch policy) instead of the experiment tables")
 	flag.Parse()
 
 	experiments.SetPredecode(*predecode)
@@ -97,6 +106,10 @@ func main() {
 	eng.Store = store
 	if *progress {
 		eng.Progress = os.Stderr
+	}
+
+	if *scenarioMode {
+		os.Exit(runScenario(eng, *jsonOut, *check))
 	}
 
 	selected := exps
@@ -182,6 +195,61 @@ func main() {
 			fmt.Println(tb)
 		}
 	}
+}
+
+// runScenario executes the default scenario sweep and, like the experiment
+// path, optionally emits JSON and diffs against a recorded baseline. The
+// scenario document carries no timings, so the golden comparison is simple
+// byte equality — any drift is a simulation change, never noise. Every cell
+// is conservation-verified inside scenario.Run before it reaches the
+// document, and the pid-policy cells' zero-overhead invariant is re-checked
+// here so the gate fails loudly even on a reseeded baseline.
+func runScenario(eng *experiments.Engine, jsonOut bool, check string) int {
+	doc, err := experiments.ScenarioSweep(context.Background(), nil, nil, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mipsx-bench: -scenario: %v\n", err)
+		return 1
+	}
+	eng.FlushProgress()
+	for i := range doc.Cells {
+		c := &doc.Cells[i]
+		attr := c.Result.Obs.Map()
+		if c.Policy == "pid" && (attr["context-switch"] != 0 || attr["flush-refill"] != 0) {
+			fmt.Fprintf(os.Stderr, "mipsx-bench: -scenario: %s/q%d/pid charged switch overhead (%d/%d)\n",
+				c.Workload, c.Quantum, attr["context-switch"], attr["flush-refill"])
+			return 1
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mipsx-bench: scenario sweep: %d cells, all conservation-verified\n", len(doc.Cells))
+
+	out, err := doc.Marshal()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mipsx-bench: -scenario: %v\n", err)
+		return 1
+	}
+	if check != "" {
+		want, err := os.ReadFile(check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mipsx-bench: -scenario -check: %v\n", err)
+			return 1
+		}
+		if _, err := experiments.ParseScenarioDoc(want); err != nil {
+			fmt.Fprintf(os.Stderr, "mipsx-bench: -scenario -check %s: %v\n", check, err)
+			return 1
+		}
+		if !bytes.Equal(out, want) {
+			fmt.Fprintf(os.Stderr, "mipsx-bench: scenario document drifted from %s (%d vs %d bytes); reseed with make scenario-baseline if intentional\n",
+				check, len(out), len(want))
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "mipsx-bench: scenario document matches %s\n", check)
+	}
+	if jsonOut {
+		os.Stdout.Write(out)
+	} else if check == "" {
+		fmt.Println(experiments.ScenarioTable(doc))
+	}
+	return 0
 }
 
 // compare diffs this run's tables against a recorded baseline report:

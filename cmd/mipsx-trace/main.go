@@ -15,6 +15,7 @@
 //
 //	mipsx-trace viz breakdown.json
 //	mipsx-trace viz -cells BENCH_pr.json
+//	mipsx-trace viz SCENARIO_baseline.json    # per-cell pollution breakdown
 package main
 
 import (
@@ -147,9 +148,28 @@ func viz(args []string) {
 				fmt.Print(attrTable(t.Attribution, total).DecompositionTable())
 			}
 		}
+	case experiments.ScenarioSchema:
+		doc, err := experiments.ParseScenarioDoc(b)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("scenario document: %d cells (%s, switch cost %d)\n", len(doc.Cells), doc.Scheme, doc.SwitchCost)
+		for i := range doc.Cells {
+			c := &doc.Cells[i]
+			r := &c.Result
+			fmt.Printf("\n%s quantum=%d policy=%s: %d cycles (CPI %.4f), %d switches, %d icache misses\n",
+				c.Workload, c.Quantum, c.Policy, r.Cycles, r.CPI(), r.Switches, r.IcacheMisses)
+			if r.Obs != nil {
+				// The decomposition is the pollution breakdown: under flush
+				// the context-switch/flush-refill rows carry the scheduler
+				// overhead and icache-miss carries the cold-cache refills;
+				// under pid all three shrink to the workload's own misses.
+				fmt.Print(r.Obs.DecompositionTable())
+			}
+		}
 	default:
-		fail(fmt.Errorf("%s: unrecognized schema %q (want %q or %q)",
-			fs.Arg(0), probe.Schema, obs.ReportSchema, experiments.BenchSchema))
+		fail(fmt.Errorf("%s: unrecognized schema %q (want %q, %q or %q)",
+			fs.Arg(0), probe.Schema, obs.ReportSchema, experiments.BenchSchema, experiments.ScenarioSchema))
 	}
 }
 

@@ -344,3 +344,97 @@ func TestFastTierObservationPurity(t *testing.T) {
 			tracer.CPU.FastSteps)
 	}
 }
+
+// TestFastTierQuantumSeam is the scheduler seam: driving a fast-tier
+// machine through RunQuantum with a budget that expires mid-basic-block
+// (a prime quantum, so expiries land at arbitrary points) must be exactly
+// as invisible as the tier itself — identical stats, registers, output and
+// ledger versus (a) the accurate pipeline driven by the same quanta and
+// (b) an uninterrupted fast-tier run. This is what lets the scenario
+// scheduler preempt contexts at any quantum without a correctness tax.
+func TestFastTierQuantumSeam(t *testing.T) {
+	var bench tinyc.Benchmark
+	for _, b := range tinyc.Benchmarks() {
+		if b.Name == "sieve" {
+			bench = b
+		}
+	}
+	im, err := tinyc.Build(bench.Source, reorg.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newM := func(useFast bool) *Machine {
+		cfg := DefaultConfig()
+		cfg.FastTier = useFast
+		m := New(cfg, nil)
+		m.Observe(obs.NewMachineSink())
+		m.Load(im)
+		return m
+	}
+	const quantum = 57 // prime: expiries never align with block boundaries
+	byQuanta := func(useFast bool) *Machine {
+		m := newM(useFast)
+		for i := 0; ; i++ {
+			if i > 10_000_000 {
+				t.Fatalf("fast=%v: no halt after %d quanta", useFast, i)
+			}
+			_, halted, err := m.RunQuantum(quantum)
+			if err != nil {
+				t.Fatalf("fast=%v: %v", useFast, err)
+			}
+			if halted {
+				break
+			}
+		}
+		if err := m.VerifyAttribution(); err != nil {
+			t.Fatalf("fast=%v: attribution broken: %v", useFast, err)
+		}
+		return m
+	}
+
+	acc, fast := byQuanta(false), byQuanta(true)
+	diffMachines(t, acc, fast)
+	if fast.CPU.FastSteps == 0 {
+		t.Fatal("fast tier never engaged under quantum driving — seam test vacuous")
+	}
+	if fast.Output() != bench.Expect() {
+		t.Errorf("wrong output %q, want %q", fast.Output(), bench.Expect())
+	}
+
+	// Quantum-driving itself must be invisible: an uninterrupted run agrees.
+	whole := newM(true)
+	if _, err := whole.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := whole.VerifyAttribution(); err != nil {
+		t.Fatal(err)
+	}
+	diffMachines(t, whole, fast)
+	if whole.CPU.FastBudget != 0 || fast.CPU.FastBudget != 0 {
+		t.Error("FastBudget left set after a run")
+	}
+}
+
+// TestContextsNeverInstallFastTier: scenario contexts share one memory and
+// hierarchy, so the fast tier (whose store-filter assumes a private image)
+// must refuse to install — contexts run cycle-accurate by construction.
+func TestContextsNeverInstallFastTier(t *testing.T) {
+	var bench tinyc.Benchmark
+	for _, b := range tinyc.Benchmarks() {
+		if b.Name == "sieve" {
+			bench = b
+		}
+	}
+	im, err := tinyc.Build(bench.Source, reorg.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.FastTier = true
+	host := New(cfg, nil)
+	ctx := NewContext(host, nil)
+	ctx.Load(im)
+	if ctx.CPU.Fast != nil {
+		t.Fatal("shared-memory context installed the fast tier")
+	}
+}

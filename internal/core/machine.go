@@ -139,6 +139,43 @@ func NewShared(cfg Config, sharedMem *mem.Memory, arb *mem.Arbiter, consoleOut i
 	return m
 }
 
+// NewContext builds a machine context for the multiprogramming scenario
+// layer (internal/scenario): a private CPU and coprocessor set over the
+// host's entire memory hierarchy — main memory, bus, external cache and
+// instruction cache are all shared. Contexts model the processes of a
+// multiprogrammed workload: only one runs at a time (the scenario scheduler
+// round-robins them), and every cache effect one context leaves behind —
+// pollution, write-backs, PID-tagged residency — is visible to the next,
+// which is exactly the interference the scenario experiments measure.
+//
+// The fast tier is refused on contexts (Load goes through the sharedMem
+// gate): a peer context's stores could rewrite this context's code without
+// tripping its self-modification watch, so contexts run cycle-accurate.
+func NewContext(host *Machine, consoleOut io.Writer) *Machine {
+	m := &Machine{Cfg: host.Cfg}
+	m.Mem = host.Mem
+	m.sharedMem = true
+	m.Bus = host.Bus
+	m.ECache = host.ECache
+	m.ICache = host.ICache
+
+	var set coproc.Set
+	if !host.Cfg.NoFPU {
+		m.FPU = coproc.NewFPU()
+		set.Attach(1, m.FPU)
+	}
+	m.IntC = &coproc.IntController{}
+	set.Attach(2, m.IntC)
+	if consoleOut == nil {
+		consoleOut = &m.out
+	}
+	m.Console = &coproc.Console{Out: consoleOut}
+	set.Attach(7, m.Console)
+
+	m.CPU = pipeline.New(host.Cfg.Pipeline, m.ICache, m.ECache, &set)
+	return m
+}
+
 // Load installs an assembled image and resets the CPU to its entry point
 // (the "main" symbol when present, else the image base).
 func (m *Machine) Load(im *asm.Image) {
@@ -223,6 +260,36 @@ func (m *Machine) Run(maxCycles uint64) (uint64, error) {
 		}
 	}
 	return cycles, nil
+}
+
+// RunQuantum executes at most budget cycles and returns the cycles consumed
+// plus whether the program has halted. It is Run's scheduler-quantum form:
+// hitting the budget is not an error (the scenario scheduler simply resumes
+// the context on its next turn), and the fast tier — when installed — is
+// bounded by the same budget (pipeline.CPU.FastBudget), so a compiled
+// straight-line run falls back to the accurate tier at the Step boundary
+// where the quantum expires. A single Step is indivisible, so the quantum
+// may overrun by that step's stall cycles — deterministically, which is all
+// the scheduler needs. The only error is a *FaultError (runaway PC).
+func (m *Machine) RunQuantum(budget uint64) (uint64, bool, error) {
+	var cycles uint64
+	var runawayAt isa.Word
+	if m.Image != nil {
+		runawayAt = m.Image.Base + isa.Word(len(m.Image.Words)) + runawaySlack
+	}
+	for !m.Console.Halted && cycles < budget {
+		m.CPU.IntLine = m.IntC.Pending()
+		m.CPU.FastBudget = budget - cycles
+		cycles += uint64(m.CPU.StepFast())
+		if pc := m.CPU.PC(); runawayAt != 0 && pc >= runawayAt {
+			m.CPU.FastBudget = 0
+			return cycles, false, &FaultError{PC: pc, Cycles: cycles,
+				Reason: fmt.Sprintf("pc ran outside the loaded image [%#x, %#x)", m.Image.Base,
+					m.Image.Base+isa.Word(len(m.Image.Words)))}
+		}
+	}
+	m.CPU.FastBudget = 0
+	return cycles, m.Console.Halted, nil
 }
 
 // Output returns the program output captured by the internal console buffer

@@ -213,3 +213,38 @@ func TestObservationDoesNotChangeCycles(t *testing.T) {
 		t.Errorf("output changed under observation: %q vs %q", plain.Output(), traced.Output())
 	}
 }
+
+// TestEcacheFlushConserves: an Ecache flush (the write-back half of a
+// flush-policy context switch) must land its stall cycles in the ledger's
+// flush-refill row and keep every conservation equation closed once the
+// flush time is charged to the run — exactly what the scenario scheduler
+// does. Before the fix, Flush wrote the lines back without telling the
+// ledger, so a conservation check across any flush point failed.
+func TestEcacheFlushConserves(t *testing.T) {
+	m := tracedRun(t) // traceProgram stores to memory, so lines are dirty
+	wbBefore := m.ECache.Stats.WriteBacks
+	stall := m.ECache.Flush()
+	if stall == 0 {
+		t.Fatal("flushing a dirty Ecache cost no cycles")
+	}
+	if m.ECache.Stats.WriteBacks == wbBefore {
+		t.Fatal("flush recorded no write-backs")
+	}
+	// The caller owns the flush time (the scheduler adds it to the run's
+	// cycle total); mirror that so the ledger must balance across the flush.
+	m.CPU.Stats.Cycles += uint64(stall)
+	if err := m.VerifyAttribution(); err != nil {
+		t.Fatalf("conservation broken across a flush: %v", err)
+	}
+	if got := m.Obs.Ledger.Count(obs.CauseFlushRefill); got != uint64(stall) {
+		t.Fatalf("flush-refill row %d, want the flush's %d stall cycles", got, stall)
+	}
+
+	// Everything is clean now: a second flush is free and changes nothing.
+	if s := m.ECache.Flush(); s != 0 {
+		t.Fatalf("flushing a clean Ecache cost %d cycles", s)
+	}
+	if err := m.VerifyAttribution(); err != nil {
+		t.Fatal(err)
+	}
+}

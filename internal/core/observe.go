@@ -62,9 +62,14 @@ func (m *Machine) ObsReport() *obs.Report {
 //	icache-miss + ecache-ifetch               == icache StallCycles (the double-count seam:
 //	    icache StallCycles INCLUDES the Ecache refill portion, which the
 //	    Ecache also counts — the ledger holds each cycle exactly once)
-//	ecache-ifetch + ecache-read + ecache-write == ecache StallCycles
+//	ecache-ifetch + ecache-read + ecache-write
+//	             + flush-refill               == ecache StallCycles
 //	ecache-read + ecache-write                == pipeline DataStalls
 //	coproc-busy                               == pipeline CoprocStalls
+//
+// flush-refill joins the Ecache seam because Flush charges its write-back
+// stalls into ecache.StallCycles (see ecache.Flush) without going through
+// either data port.
 //
 // On a shared bus (multiprocessor nodes) arbitration waits are carved out of
 // the cache causes into bus-wait, so the per-cause rows become lower bounds;
@@ -93,7 +98,8 @@ func (m *Machine) VerifyAttribution() error {
 		{"icache-miss+ecache-ifetch vs icache.StallCycles",
 			l.Count(obs.CauseIcacheMiss) + l.Count(obs.CauseEcacheIFetch), ic.StallCycles},
 		{"ecache causes vs ecache.StallCycles",
-			l.Count(obs.CauseEcacheIFetch) + l.Count(obs.CauseEcacheRead) + l.Count(obs.CauseEcacheWrite),
+			l.Count(obs.CauseEcacheIFetch) + l.Count(obs.CauseEcacheRead) + l.Count(obs.CauseEcacheWrite) +
+				l.Count(obs.CauseFlushRefill),
 			ec.StallCycles},
 		{"ecache-read+ecache-write vs pipeline.DataStalls",
 			l.Count(obs.CauseEcacheRead) + l.Count(obs.CauseEcacheWrite), p.DataStalls},

@@ -410,16 +410,35 @@ func (c *Cache) Write(a, w isa.Word) int {
 	return stall
 }
 
-// Flush writes back all dirty lines and invalidates the cache.
-func (c *Cache) Flush() {
+// Flush writes back all dirty lines and invalidates the cache, returning
+// the stall cycles the write-backs cost the processor. Unlike evictions
+// inside fill (whose cost rides the miss that triggered them), a flush is
+// its own stall source — the scenario layer's context switches drain the
+// cache while the processor waits — so Flush charges Stats.StallCycles and
+// the ledger's flush-refill cause itself, with arbitration waits carved out
+// to bus-wait as everywhere else.
+func (c *Cache) Flush() int {
+	stall, wait := 0, 0
 	for i := range c.lines {
 		l := &c.lines[i]
 		if l.valid && l.dirty {
 			c.Stats.WriteBacks++
-			c.Bus.TransferCost(c.cfg.LineWords)
+			cost, w := c.Bus.TransferCostWait(c.cfg.LineWords)
+			stall += cost
+			wait += w
 		}
 		*l = line{}
 	}
+	if stall > 0 {
+		c.Stats.StallCycles += uint64(stall)
+		if o := c.Obs; o != nil {
+			o.Ledger.Stall(obs.CauseFlushRefill, uint64(stall), uint64(wait))
+			if o.Tracer != nil {
+				o.Tracer.Span(obs.TrackEcache, "cache", "flush", o.Cycle(), uint64(stall), nil)
+			}
+		}
+	}
+	return stall
 }
 
 // Contains reports whether address a currently hits, without updating any

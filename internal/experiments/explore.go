@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/reorg"
+	"repro/internal/scenario"
 	"repro/internal/spec"
 	"repro/internal/tinyc"
 )
@@ -110,10 +111,20 @@ func Explore(ctx context.Context, sw spec.Sweep, benches []tinyc.Benchmark) (*Ex
 
 	// One memoizable cell per (point × benchmark) — exactly a benchCell, so
 	// a point that coincides with an experiment table's machine replays from
-	// the table's entries and vice versa.
+	// the table's entries and vice versa. A point carrying a scenario block
+	// instead runs the benchmarks as ONE multiprogrammed scenario cell: the
+	// sweep's quantum/policy axes measure the switch-cost landscape over the
+	// same member set every other point runs standalone.
 	results := make([][]RunResult, len(points))
+	scnResults := make([]scenario.Result, len(points))
 	var cells []Cell
 	for i, p := range points {
+		if p.Spec.Scenario != nil {
+			cells = append(cells, scenarioCell(
+				fmt.Sprintf("EXPL[%d]/%s/scenario", i, p.Label()),
+				benches, schemes[i], p.Spec, &scnResults[i]))
+			continue
+		}
 		results[i] = make([]RunResult, len(benches))
 		for j, b := range benches {
 			cells = append(cells, benchCell(
@@ -139,21 +150,36 @@ func Explore(ctx context.Context, sw spec.Sweep, benches []tinyc.Benchmark) (*Ex
 			IcacheBits:  p.Spec.ICache.StateBits(),
 			Attribution: make(map[string]uint64),
 		}
-		for j, b := range benches {
-			r := &results[i][j]
-			ep.Cycles += r.Stats.Pipeline.Cycles
-			ep.Instructions += r.Stats.Pipeline.Issued()
+		if p.Spec.Scenario != nil {
+			r := &scnResults[i]
+			ep.Cycles = r.Cycles
+			ep.Instructions = r.Instructions
 			if r.Obs == nil {
-				return nil, fmt.Errorf("point %s: %s carries no attribution report", ep.Label, b.Name)
+				return nil, fmt.Errorf("point %s: scenario carries no attribution report", ep.Label)
 			}
 			for c, v := range r.Obs.Map() {
 				ep.Attribution[c] += v
 			}
-			im, err := buildCached(b, schemes[i])
-			if err != nil {
-				return nil, err
+			for _, pr := range r.Programs {
+				ep.CodeWords += pr.CodeWords
 			}
-			ep.CodeWords += tinyc.StaticInstructions(im)
+		} else {
+			for j, b := range benches {
+				r := &results[i][j]
+				ep.Cycles += r.Stats.Pipeline.Cycles
+				ep.Instructions += r.Stats.Pipeline.Issued()
+				if r.Obs == nil {
+					return nil, fmt.Errorf("point %s: %s carries no attribution report", ep.Label, b.Name)
+				}
+				for c, v := range r.Obs.Map() {
+					ep.Attribution[c] += v
+				}
+				im, err := buildCached(b, schemes[i])
+				if err != nil {
+					return nil, err
+				}
+				ep.CodeWords += tinyc.StaticInstructions(im)
+			}
 		}
 		if ep.Instructions > 0 {
 			ep.CPI = float64(ep.Cycles) / float64(ep.Instructions)

@@ -48,8 +48,11 @@ const memoSchema = "mipsx-memo/v1"
 // on-disk caches recorded by older binaries miss instead of replaying
 // stale results. Epoch 3: machine configurations hash as MachineSpec
 // digests instead of struct renderings (the results are unchanged, but
-// every key derivation is new).
-const memoEpoch = 3
+// every key derivation is new). Epoch 4: the obs cause schema gained
+// context-switch and flush-refill (recorded obs.Reports carry two new
+// zero rows), trace.Interleave widens its stride for wide member
+// addresses, and scenario cells joined the store.
+const memoEpoch = 4
 
 // memoEntry is one recorded cell result.
 type memoEntry struct {

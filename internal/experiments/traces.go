@@ -126,7 +126,11 @@ func (ts traceSpec) cell(id string, out *[]isa.Word) Cell {
 			if err := DefaultEngine().Run(ctx, cells); err != nil {
 				return err
 			}
-			*out = trace.Interleave(parts, ts.Quantum)
+			tr, err := trace.Interleave(parts, ts.Quantum)
+			if err != nil {
+				return err
+			}
+			*out = tr
 			return nil
 		},
 		Memo: traceMemo(ts.key(), out),

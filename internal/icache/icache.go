@@ -98,6 +98,11 @@ type block struct {
 	nval  int    // count of set valid bits (fully-resident fast path)
 	inUse bool   // tag allocated
 	use   uint64 // LRU stamp
+	// pid is the process-ID tag of the context that installed the block.
+	// Under the scenario layer's PID-tagged policy a block hits only for the
+	// context whose pid matches (SetPID); in single-program runs every block
+	// carries pid 0 and the comparison is always true, so the field is free.
+	pid int
 	// coproc marks words holding coprocessor instructions under the
 	// NoCacheCoproc ablation; such words never become valid.
 	coproc []bool
@@ -124,6 +129,11 @@ type Cache struct {
 	lastBlk    *block
 	prevBlkKey isa.Word
 	prevBlk    *block
+
+	// curPID is the process-ID tag compared against each block's pid on
+	// every tag match (PID-tagged lines, Smith §2.8's alternative to
+	// flushing on a task switch). 0 outside the scenario layer.
+	curPID int
 
 	// Backing store for misses. Fetching through the Ecache charges its
 	// stalls too, exactly like the real two-level hierarchy.
@@ -218,7 +228,7 @@ func (c *Cache) Present(a isa.Word) bool {
 	set, tag, off := c.index(a)
 	for i := range c.sets[set] {
 		b := &c.sets[set][i]
-		if b.inUse && b.tag == tag && b.valid[off] {
+		if b.inUse && b.tag == tag && b.pid == c.curPID && b.valid[off] {
 			return true
 		}
 	}
@@ -294,7 +304,7 @@ func (c *Cache) blkFor(a isa.Word) *block {
 	}
 	set, tag, _ := c.index(a)
 	for i := range c.sets[set] {
-		if cand := &c.sets[set][i]; cand.inUse && cand.tag == tag {
+		if cand := &c.sets[set][i]; cand.inUse && cand.tag == tag && cand.pid == c.curPID {
 			c.prevBlkKey, c.prevBlk = c.lastBlkKey, c.lastBlk
 			c.lastBlkKey, c.lastBlk = key, cand
 			return cand
@@ -334,7 +344,7 @@ func (c *Cache) hit(a isa.Word) bool {
 	set, tag, off := c.index(a)
 	for i := range c.sets[set] {
 		b := &c.sets[set][i]
-		if b.inUse && b.tag == tag && b.valid[off] {
+		if b.inUse && b.tag == tag && b.pid == c.curPID && b.valid[off] {
 			c.tick++
 			b.use = c.tick
 			c.lastBlkKey = a >> c.blkShift
@@ -387,10 +397,10 @@ func (c *Cache) install(a isa.Word, w isa.Word) {
 	}
 	c.lastBlk, c.prevBlk = nil, nil // a victim's tag may change; drop the hit memo
 	set, tag, off := c.index(a)
-	// Existing block with this tag?
+	// Existing block with this tag (owned by the current context)?
 	for i := range c.sets[set] {
 		b := &c.sets[set][i]
-		if b.inUse && b.tag == tag {
+		if b.inUse && b.tag == tag && b.pid == c.curPID {
 			c.mark(b, off, w)
 			return
 		}
@@ -411,6 +421,7 @@ func (c *Cache) install(a isa.Word, w isa.Word) {
 	b := &c.sets[set][victim]
 	b.inUse = true
 	b.tag = tag
+	b.pid = c.curPID
 	b.nval = 0
 	for i := range b.valid {
 		b.valid[i] = false
@@ -448,12 +459,39 @@ func (c *Cache) Invalidate() {
 			b := &c.sets[s][w]
 			b.inUse = false
 			b.nval = 0
+			b.pid = 0
 			for i := range b.valid {
 				b.valid[i] = false
 				b.coproc[i] = false
 			}
 		}
 	}
+}
+
+// Flush is the whole-cache invalidation point a context switch under the
+// flush policy uses: it clears every block AND the predecode side table in
+// one operation, so a post-flush FetchDecoded can never serve a decoded
+// instruction cached for the previous address space. Dropping only the
+// blocks would be unsound paired with predecode: the side table revalidates
+// by word compare, which is blind to a flush whose point is that the same
+// word must be refetched (and re-observed) through the hierarchy.
+func (c *Cache) Flush() {
+	c.Invalidate()
+	if c.pre != nil {
+		c.pre.Invalidate()
+	}
+}
+
+// SetPID switches the cache's current process-ID tag (the PID-tagged-lines
+// alternative to flushing, Smith §2.8): blocks installed by other contexts
+// stay resident but stop hitting until their owner runs again. The hit memo
+// is dropped because its entries were matched under the old PID.
+func (c *Cache) SetPID(pid int) {
+	if pid == c.curPID {
+		return
+	}
+	c.curPID = pid
+	c.lastBlk, c.prevBlk = nil, nil
 }
 
 // StateBits returns the number of architected storage bits in the cache

@@ -39,7 +39,13 @@ type Cause int
 // EcacheWrite are Ecache refill stalls split by which port triggered them,
 // CoprocBusy is the coprocessor-interface busy wait, and BusWait is memory-
 // bus arbitration contention in multiprocessor configurations (carved out of
-// whichever Ecache stall was waiting on the bus).
+// whichever Ecache stall was waiting on the bus). The multiprogramming
+// scenario layer (internal/scenario) adds two more: ContextSwitch is the
+// scheduler's fixed per-switch overhead under the flush policy (the software
+// trap + state save/restore the paper's register-bank argument avoids), and
+// FlushRefill is the cycle cost of writing dirty Ecache lines back when a
+// context switch flushes the hierarchy. Both stay zero in single-program
+// runs and under the PID-tagged policy, which is itself a checked invariant.
 const (
 	CauseExecute Cause = iota
 	CauseNop
@@ -52,6 +58,8 @@ const (
 	CauseEcacheWrite
 	CauseCoprocBusy
 	CauseBusWait
+	CauseContextSwitch
+	CauseFlushRefill
 	NumMachineCauses
 )
 
@@ -68,6 +76,8 @@ var MachineCauseNames = []string{
 	"ecache-write",
 	"coproc-busy",
 	"bus-wait",
+	"context-switch",
+	"flush-refill",
 }
 
 // VAXCauseNames is the cause schema for the VAX-like reference machine,

@@ -612,6 +612,7 @@ func (c *CPU) runFast() int {
 	// image span, the probe port and the observation hooks. Statistics
 	// accumulate in locals — registers, not memory — and flush once at exit.
 	slots := c.Cfg.BranchSlots
+	budget := c.FastBudget
 	ops, base := t.prog.ops, t.prog.base
 	lo, span := t.lo, t.span
 	dirty, dLo, dHi := t.dirty, t.dLo, t.dHi
@@ -904,6 +905,9 @@ func (c *CPU) runFast() int {
 		f = nextF
 
 		if bail || squashed {
+			break
+		}
+		if budget != 0 && steps+stalls >= budget {
 			break
 		}
 		// Pre-checks for the next iteration; any refusal exits at this

@@ -254,6 +254,16 @@ type CPU struct {
 	// consults it, so single-stepping stays accurate-tier by construction.
 	Fast *FastTier
 
+	// FastBudget, when nonzero, bounds the cycles one fast-tier run may
+	// consume before exiting at a Step boundary. The scenario scheduler's
+	// quantum seam: a compiled straight-line run falls back to the accurate
+	// tier where the quantum expires instead of overrunning it by a whole
+	// basic-block chain. Granularity is one Step — a single iteration's
+	// cycles (1 + data stalls) are indivisible, so the run stops at the
+	// first boundary at or past the budget, exactly as accurate Stepping
+	// would. Zero (the default) leaves runs unbounded.
+	FastBudget uint64
+
 	// FastSteps and FastRuns count instructions retired by the fast tier and
 	// the straight-line runs they came in. Diagnostic only: deliberately NOT
 	// part of Stats, which must stay bit-identical between tiers.

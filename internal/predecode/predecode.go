@@ -84,3 +84,13 @@ func (t *Table) Get(a isa.Word) isa.Instruction {
 	t.Stats.Hits++
 	return s.in
 }
+
+// Invalidate drops every cached decode (Stats survive). Compare-on-fetch
+// already keeps the table coherent against stores, so this exists for
+// whole-cache invalidation points — an Icache flush at a context switch —
+// where the contract is that NO stale decoded form may be served afterward,
+// even for words whose backing value happens to be unchanged. Pages are
+// rebuilt (and their memory-page pointers re-cached) on next touch.
+func (t *Table) Invalidate() {
+	t.pages = make(map[isa.Word]*page)
+}

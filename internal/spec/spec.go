@@ -51,6 +51,44 @@ type MachineSpec struct {
 	// NoFPU omits the floating-point coprocessor (the paper's FP-intensive
 	// studies toggle it).
 	NoFPU bool `json:"no_fpu,omitempty"`
+	// Scenario, when non-nil, makes the spec a multiprogramming design point:
+	// several programs time-share this machine's cache hierarchy under a
+	// round-robin scheduler (internal/scenario). It is a pointer with
+	// omitempty so single-program specs — every pre-existing baseline —
+	// encode and digest exactly as before.
+	Scenario *ScenarioSpec `json:"scenario,omitempty"`
+}
+
+// ScenarioSpec parameterizes the multiprogramming scenario layer: how often
+// the scheduler switches contexts and what the switch does to the Icache.
+type ScenarioSpec struct {
+	// Quantum is the time slice in cycles a context runs before the
+	// scheduler switches it out.
+	Quantum int `json:"quantum"`
+	// Policy selects what a context switch does to the Icache: "flush"
+	// invalidates it (and drains the Ecache's dirty lines), "pid" switches
+	// the PID tag so resident lines survive for their owner.
+	Policy string `json:"policy"`
+	// SwitchCost is the fixed per-switch overhead in cycles under the flush
+	// policy (the software trap + state save/restore; the PID policy models
+	// the register-bank design where switching is free). Charged to the
+	// context-switch ledger cause.
+	SwitchCost int `json:"switch_cost"`
+}
+
+// Scenario policy names.
+const (
+	PolicyFlush = "flush"
+	PolicyPID   = "pid"
+)
+
+// DefaultScenario is the scenario baseline a sweep axis starts from when the
+// base spec carries none: a 10K-cycle quantum (Smith's survey's canonical
+// multiprogramming quantum, the same default trace.Interleave uses) under
+// the flush policy with a 64-cycle switch (a software trap plus a 32-entry
+// register save/restore). Sweep axes patch individual fields over this.
+func DefaultScenario() ScenarioSpec {
+	return ScenarioSpec{Quantum: 10000, Policy: PolicyFlush, SwitchCost: 64}
 }
 
 // BranchSpec is the Table 1 branch scheme: it parameterizes the reorganizer
@@ -348,6 +386,18 @@ func (ms MachineSpec) Validate() error {
 
 	if ms.Bus.Latency < 0 || ms.Bus.PerWord < 0 {
 		bad("bus latency/per_word = %d/%d, want >= 0", ms.Bus.Latency, ms.Bus.PerWord)
+	}
+
+	if sc := ms.Scenario; sc != nil {
+		if sc.Quantum <= 0 {
+			bad("scenario.quantum = %d, want > 0", sc.Quantum)
+		}
+		if sc.Policy != PolicyFlush && sc.Policy != PolicyPID {
+			bad("scenario.policy = %q, want %q or %q", sc.Policy, PolicyFlush, PolicyPID)
+		}
+		if sc.SwitchCost < 0 {
+			bad("scenario.switch_cost = %d, want >= 0", sc.SwitchCost)
+		}
 	}
 
 	if len(errs) == 0 {

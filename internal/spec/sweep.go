@@ -91,7 +91,27 @@ func (ms MachineSpec) Patch(path string, value any) (MachineSpec, error) {
 	for _, seg := range segs[:len(segs)-1] {
 		child, ok := cur[seg].(map[string]any)
 		if !ok {
-			return MachineSpec{}, fmt.Errorf("spec: unknown axis path %q (no object at %q)", path, seg)
+			if _, present := cur[seg]; present {
+				// The segment exists but is a scalar — a genuinely wrong path.
+				return MachineSpec{}, fmt.Errorf("spec: unknown axis path %q (no object at %q)", path, seg)
+			}
+			// Absent objects are created: optional sub-specs (scenario) are
+			// omitted from the canonical JSON when unset, yet their fields
+			// are legitimate axes. Known optional sub-specs seed from their
+			// named default so patching one field yields a valid spec; a
+			// typo'd segment still fails loudly — the synthesized object
+			// reaches Parse, which rejects unknown fields.
+			child = map[string]any{}
+			if seg == "scenario" {
+				b, err := json.Marshal(DefaultScenario())
+				if err != nil {
+					return MachineSpec{}, fmt.Errorf("spec: %w", err)
+				}
+				if err := json.Unmarshal(b, &child); err != nil {
+					return MachineSpec{}, fmt.Errorf("spec: %w", err)
+				}
+			}
+			cur[seg] = child
 		}
 		cur = child
 	}

@@ -39,8 +39,15 @@ func TestPatchErrors(t *testing.T) {
 	if _, err := Default().Patch("icache.setz", float64(8)); err == nil || !strings.Contains(err.Error(), "setz") {
 		t.Fatalf("typo'd leaf: err = %v, want an unknown-field rejection", err)
 	}
-	if _, err := Default().Patch("izache.sets", float64(8)); err == nil || !strings.Contains(err.Error(), "unknown axis path") {
-		t.Fatalf("typo'd object: err = %v, want unknown axis path", err)
+	// A typo'd intermediate segment is synthesized as an empty object (so
+	// optional sub-specs like "scenario" can be swept), but Parse rejects the
+	// unknown field — the path still fails loudly.
+	if _, err := Default().Patch("izache.sets", float64(8)); err == nil || !strings.Contains(err.Error(), "izache") {
+		t.Fatalf("typo'd object: err = %v, want an unknown-field rejection", err)
+	}
+	// A path descending through a scalar is a genuinely wrong shape.
+	if _, err := Default().Patch("icache.sets.deeper", float64(8)); err == nil || !strings.Contains(err.Error(), "unknown axis path") {
+		t.Fatalf("scalar-object path: err = %v, want unknown axis path", err)
 	}
 	if _, err := Default().Patch("icache.sets", float64(3)); err == nil {
 		t.Fatal("invalid value validated")
@@ -50,6 +57,44 @@ func TestPatchErrors(t *testing.T) {
 	}
 	if _, err := Default().Patch("scheme", float64(2)); err == nil {
 		t.Fatal("non-string scheme patched")
+	}
+}
+
+// TestPatchScenario: patching one scenario field on a spec with no scenario
+// block must seed the rest from DefaultScenario so the point validates —
+// this is what makes "scenario.quantum" and "scenario.policy" usable as
+// explorer axes.
+func TestPatchScenario(t *testing.T) {
+	ms, err := Default().Patch("scenario.quantum", float64(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Scenario == nil {
+		t.Fatal("scenario block not created")
+	}
+	def := DefaultScenario()
+	if ms.Scenario.Quantum != 5000 || ms.Scenario.Policy != def.Policy || ms.Scenario.SwitchCost != def.SwitchCost {
+		t.Fatalf("scenario = %+v, want quantum 5000 over defaults %+v", ms.Scenario, def)
+	}
+
+	ms2, err := ms.Patch("scenario.policy", "pid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms2.Scenario.Policy != PolicyPID || ms2.Scenario.Quantum != 5000 {
+		t.Fatalf("second patch lost state: %+v", ms2.Scenario)
+	}
+
+	// The scenario block is digest material: a quantum change is a new point.
+	if ms.Digest() == Default().Digest() || ms.Digest() == ms2.Digest() {
+		t.Fatal("scenario fields not covered by the spec digest")
+	}
+
+	if _, err := Default().Patch("scenario.policy", "lru"); err == nil {
+		t.Fatal("invalid policy validated")
+	}
+	if _, err := Default().Patch("scenario.quantum", float64(0)); err == nil {
+		t.Fatal("zero quantum validated")
 	}
 }
 

@@ -17,7 +17,7 @@ func TestAddrCodecRoundTrip(t *testing.T) {
 		{"sequential", []isa.Word{7, 8, 9, 10, 11}},
 		{"jumps", []isa.Word{0, 1 << 24, 3, ^isa.Word(0), 0, 5}},
 		{"synthesized", NewSynthesizer(PascalSynth(0)).Generate(50_000)},
-		{"interleaved", Interleave([][]isa.Word{
+		{"interleaved", mustInterleave(t, [][]isa.Word{
 			NewSynthesizer(PascalSynth(8 * 1024)).Generate(20_000),
 			NewSynthesizer(LispSynth(8 * 1024)).Generate(20_000),
 		}, 1000)},
@@ -147,7 +147,7 @@ func TestInterleaveUnequalAndEmpty(t *testing.T) {
 	a := []isa.Word{1, 2, 3, 4, 5, 6, 7}
 	b := []isa.Word{10, 20}
 	var c []isa.Word // a program with no references at all
-	out := Interleave([][]isa.Word{a, b, c}, 3)
+	out := mustInterleave(t, [][]isa.Word{a, b, c}, 3)
 	if len(out) != len(a)+len(b) {
 		t.Fatalf("interleave produced %d refs, want %d", len(out), len(a)+len(b))
 	}
@@ -184,7 +184,16 @@ func TestInterleaveUnequalAndEmpty(t *testing.T) {
 	}
 
 	// All-empty input terminates with an empty trace.
-	if got := Interleave([][]isa.Word{nil, nil}, 5); len(got) != 0 {
+	if got := mustInterleave(t, [][]isa.Word{nil, nil}, 5); len(got) != 0 {
 		t.Fatalf("all-empty interleave produced %d refs", len(got))
 	}
+}
+
+func mustInterleave(t *testing.T, traces [][]isa.Word, q int) []isa.Word {
+	t.Helper()
+	out, err := Interleave(traces, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
 }

@@ -17,6 +17,7 @@
 package trace
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -299,17 +300,41 @@ func (s *Synthesizer) walk(f, depth int, out *[]isa.Word, n int) {
 }
 
 // Interleave merges several traces with a multiprogramming quantum Q, the
-// Smith-survey methodology the Ecache ablations use.
-func Interleave(traces [][]isa.Word, q int) []isa.Word {
+// Smith-survey methodology the Ecache ablations use. Each member is offset
+// into its own address space so programs conflict in the cache, not in
+// memory semantics. The stride between spaces is 2^24 words — the historical
+// layout every recorded trace artifact was built with — widened to the next
+// power of two above the largest member address when a member outgrows it.
+// Interleave errors instead of aliasing: before the widening, a member
+// address ≥ 2^24 silently landed in a neighbour's space, and enough members
+// pushed t*stride past the 32-bit isa.Word range so distinct programs wrapped
+// onto each other; both layouts corrupted every miss-ratio derived downstream.
+func Interleave(traces [][]isa.Word, q int) ([]isa.Word, error) {
 	if q <= 0 {
 		q = 10000
+	}
+	var maxAddr isa.Word
+	for _, tr := range traces {
+		for _, a := range tr {
+			if a > maxAddr {
+				maxAddr = a
+			}
+		}
+	}
+	stride := uint64(1) << 24
+	for stride <= uint64(maxAddr) {
+		stride <<= 1
+	}
+	if n := uint64(len(traces)); n > 0 {
+		if top := (n-1)*stride + uint64(maxAddr); top > uint64(^isa.Word(0)) {
+			return nil, fmt.Errorf(
+				"trace: interleave of %d members at stride %#x overflows the address space (top address %#x)",
+				len(traces), stride, top)
+		}
 	}
 	var out []isa.Word
 	idx := make([]int, len(traces))
 	live := len(traces)
-	// Offset each program into its own address space so they conflict in
-	// the cache, not in memory semantics.
-	const spaceStride = 1 << 24
 	for live > 0 {
 		live = 0
 		for t := range traces {
@@ -319,7 +344,7 @@ func Interleave(traces [][]isa.Word, q int) []isa.Word {
 				end = len(tr)
 			}
 			for _, a := range tr[idx[t]:end] {
-				out = append(out, a+isa.Word(t*spaceStride))
+				out = append(out, a+isa.Word(uint64(t)*stride))
 			}
 			idx[t] = end
 			if idx[t] < len(tr) {
@@ -327,5 +352,5 @@ func Interleave(traces [][]isa.Word, q int) []isa.Word {
 			}
 		}
 	}
-	return out
+	return out, nil
 }

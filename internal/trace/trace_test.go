@@ -256,12 +256,51 @@ func TestSyntheticTracesReproduceIcachePaperNumbers(t *testing.T) {
 func TestInterleave(t *testing.T) {
 	a := []isa.Word{1, 2, 3, 4, 5}
 	b := []isa.Word{10, 20}
-	out := Interleave([][]isa.Word{a, b}, 2)
+	out, err := Interleave([][]isa.Word{a, b}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(out) != len(a)+len(b) {
 		t.Fatalf("interleave lost references: %d", len(out))
 	}
 	// Address spaces must not collide.
 	if out[2] == 10 {
 		t.Fatal("second program not offset into its own space")
+	}
+}
+
+// TestInterleaveWideAddresses is the aliasing regression: with the fixed
+// 2^24 stride a member address ≥ 2^24 landed inside the next member's
+// space, so the interleave below used to map A's 2^24+5 and B's 5 to the
+// SAME address (2^24+5). The stride must widen so the members stay disjoint.
+func TestInterleaveWideAddresses(t *testing.T) {
+	a := []isa.Word{1<<24 + 5}
+	b := []isa.Word{5}
+	out, err := Interleave([][]isa.Word{a, b}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("interleave produced %d refs, want 2", len(out))
+	}
+	if out[0] == out[1] {
+		t.Fatalf("members aliased to %#x", out[0])
+	}
+	// The widened stride is the next power of two above the max address.
+	const stride = 1 << 25
+	if out[0] != a[0] || out[1] != b[0]+stride {
+		t.Fatalf("layout %#x/%#x, want %#x/%#x", out[0], out[1], a[0], b[0]+stride)
+	}
+}
+
+// TestInterleaveOverflow: enough members at a wide stride must error, not
+// wrap distinct programs onto each other in the 32-bit address space.
+func TestInterleaveOverflow(t *testing.T) {
+	members := make([][]isa.Word, 300) // 300 × 2^24 > 2^32
+	for i := range members {
+		members[i] = []isa.Word{1}
+	}
+	if _, err := Interleave(members, 1); err == nil {
+		t.Fatal("overflowing interleave did not error")
 	}
 }
