@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet vet-extra vulncheck race lint-suite cost-gate fast-gate fuzz bench bench-hot trace-sample explore-smoke explore-baseline scenario-gate scenario-baseline
+.PHONY: check build test vet vet-extra vulncheck race lint-suite cost-gate fast-gate fuzz bench bench-hot trace-sample explore-smoke explore-baseline scenario-gate scenario-baseline stream-gate
 
-check: vet vet-extra vulncheck build test race lint-suite cost-gate explore-smoke scenario-gate
+check: vet vet-extra vulncheck build test race lint-suite cost-gate explore-smoke scenario-gate stream-gate
 
 build:
 	$(GO) build ./...
@@ -134,3 +134,26 @@ scenario-gate:
 # Reseed the scenario golden document (deliberate changes only).
 scenario-baseline:
 	$(GO) run ./cmd/mipsx-bench -scenario -json > SCENARIO_baseline.json
+
+# Streaming observability gate, four layers. (1) The stream/window unit and
+# seam tests: streamed traces byte-identical to buffered WriteJSON, windowed
+# conservation across fast-tier-block, squash and context-switch boundaries,
+# and the observation-purity test with streaming tracers + windowed ledgers
+# attached. (2) End-to-end byte-identity: the same benchmark traced through
+# -trace-out (buffered) and -obs-stream (incremental) must produce identical
+# files. (3) A live windowed run whose mipsx-obswin/v1 stream mipsx-trace
+# -follow -once replays with every per-window conservation check passing.
+# (4) The wall-clock budget gate (OBS_BUDGET=1): ledger and windowed-ledger
+# overhead within the documented budget, zero dropped events.
+stream-gate:
+	$(GO) test ./internal/obs -run 'TestStream|TestStart|TestWindow|TestParseWindowStream|TestReportCarriesDroppedEvents' -count=1
+	$(GO) test ./internal/core -run 'TestStreamedTraceByteIdenticalMachine|TestStreamNeverDropsOnMachineRun|TestObservationPurityStreamingAndWindows|TestWindowSeam' -count=1
+	$(GO) test ./internal/scenario -run 'TestWindow' -count=1
+	$(GO) test ./cmd/mipsx-trace -count=1
+	$(GO) run ./cmd/mipsx-run -bench bubblesort -trace-out .streamgate_buf.json > /dev/null
+	$(GO) run ./cmd/mipsx-run -bench bubblesort -obs-stream .streamgate_stream.json > /dev/null
+	cmp .streamgate_buf.json .streamgate_stream.json
+	$(GO) run ./cmd/mipsx-run -bench bubblesort -obs-window 4096 -obs-window-out .streamgate_win.jsonl > /dev/null
+	$(GO) run ./cmd/mipsx-trace -follow .streamgate_win.jsonl -once > /dev/null
+	OBS_BUDGET=1 $(GO) test ./internal/experiments -run TestObsOverheadBudget -count=1
+	rm -f .streamgate_buf.json .streamgate_stream.json .streamgate_win.jsonl

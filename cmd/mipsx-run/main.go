@@ -21,11 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/lint"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 	"repro/internal/spec"
 	"repro/internal/tinyc"
 	"repro/internal/trace"
@@ -44,10 +46,35 @@ func main() {
 	breakdownOut := flag.String("breakdown-out", "", "write the attribution report as JSON (mipsx-trace viz renders it)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event/Perfetto JSON trace of the run")
 	traceEvents := flag.Int("trace-events", obs.DefaultMaxEvents, "with -trace-out: event-buffer bound (oldest kept, rest dropped)")
+	obsStream := flag.String("obs-stream", "", "stream the trace to FILE as the run executes (bounded memory, never drops; same bytes as -trace-out)")
+	obsWindow := flag.Int("obs-window", 0, "fold the attribution ledger into N-cycle windows (mipsx-obswin/v1 time-series)")
+	obsWindowOut := flag.String("obs-window-out", "", "with -obs-window: stream the window time-series to FILE (mipsx-trace -follow tails it)")
+	scenarioList := flag.String("scenario", "", "run a multiprogrammed scenario of comma-separated built-in benchmarks (e.g. bubblesort,sieve)")
+	scenarioQuantum := flag.Int("scenario-quantum", 0, "with -scenario: scheduler quantum in cycles (0 = spec default)")
+	scenarioPolicy := flag.String("scenario-policy", "", "with -scenario: Icache switch policy, flush or pid (empty = spec default)")
 	profileOut := flag.String("profile-out", "", "write the per-PC writeback profile as JSON (mipsx-lint -cost -profile reads it)")
 	benchName := flag.String("bench", "", "run the named built-in tinyc benchmark instead of a source file")
 	specPath := flag.String("spec", "", "machine-spec JSON file naming the design point to run (default: the machine as built)")
 	flag.Parse()
+
+	if *traceOut != "" && *obsStream != "" {
+		fmt.Fprintln(os.Stderr, "mipsx-run: -trace-out and -obs-stream are mutually exclusive (the stream is the same bytes, unbuffered)")
+		os.Exit(2)
+	}
+	if *obsWindow < 0 {
+		fmt.Fprintln(os.Stderr, "mipsx-run: -obs-window must be >= 0")
+		os.Exit(2)
+	}
+	if *obsWindowOut != "" && *obsWindow == 0 {
+		fmt.Fprintln(os.Stderr, "mipsx-run: -obs-window-out needs -obs-window N")
+		os.Exit(2)
+	}
+
+	if *scenarioList != "" {
+		runScenario(*scenarioList, *specPath, *scenarioQuantum, *scenarioPolicy,
+			*obsStream, *obsWindow, *obsWindowOut, *breakdown, *breakdownOut)
+		return
+	}
 
 	var src []byte
 	var err error
@@ -154,11 +181,39 @@ func main() {
 	m := core.New(cfg, os.Stdout)
 	// Observation is attached only when asked for: the unobserved machine
 	// keeps the nil-sink fast path.
-	observed := *breakdown || *breakdownOut != "" || *traceOut != ""
+	observed := *breakdown || *breakdownOut != "" || *traceOut != "" || *obsStream != "" || *obsWindow > 0
+	var streamFile *os.File
+	var win *obs.WindowedLedger
+	var winStream *obs.WindowStreamWriter
 	if observed {
 		s := obs.NewMachineSink()
 		if *traceOut != "" {
 			s.Tracer = &obs.Tracer{MaxEvents: *traceEvents, Instrs: true}
+		}
+		if *obsStream != "" {
+			var err error
+			if streamFile, err = os.Create(*obsStream); err != nil {
+				fail(err)
+			}
+			s.Tracer = &obs.Tracer{Instrs: true}
+			if err := s.Tracer.StartStream(streamFile, 0); err != nil {
+				fail(err)
+			}
+		}
+		if *obsWindow > 0 {
+			win = obs.NewWindowedLedger(obs.MachineCauseNames, uint64(*obsWindow))
+			if *obsWindowOut != "" {
+				f, err := os.Create(*obsWindowOut)
+				if err != nil {
+					fail(err)
+				}
+				defer f.Close()
+				if winStream, err = obs.NewWindowStreamWriter(f, uint64(*obsWindow)); err != nil {
+					fail(err)
+				}
+				win.OnWindow(winStream.Write)
+			}
+			s.Ledger.AttachWindows(win)
 		}
 		m.Observe(s)
 	}
@@ -176,10 +231,30 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if win != nil {
+		win.Flush()
+		if err := win.Err(); err != nil {
+			fail(err)
+		}
+		if winStream != nil {
+			fmt.Fprintf(os.Stderr, "mipsx-run: streamed %d ledger windows (%d cycles each) to %s\n",
+				winStream.Count(), *obsWindow, *obsWindowOut)
+		}
+	}
 	if observed {
 		if err := m.VerifyAttribution(); err != nil {
 			fail(err)
 		}
+	}
+	if *obsStream != "" {
+		if err := m.Obs.Tracer.CloseStream(); err != nil {
+			fail(err)
+		}
+		if err := streamFile.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "mipsx-run: streamed %d trace events to %s (0 dropped)\n",
+			m.Obs.Tracer.Len(), *obsStream)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -194,6 +269,10 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "mipsx-run: wrote %d trace events to %s (%d dropped at the %d-event bound)\n",
 			m.Obs.Tracer.Len(), *traceOut, m.Obs.Tracer.Dropped(), *traceEvents)
+		if d := m.Obs.Tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "mipsx-run: WARNING: trace is truncated — %d events were dropped at the %d-event bound; raise -trace-events or use -obs-stream\n",
+				d, *traceEvents)
+		}
 	}
 	if *profileOut != "" {
 		b, err := pcProf.Doc().Marshal()
@@ -237,6 +316,122 @@ func main() {
 			100*s.Ecache.MissRatio(), s.Ecache.StallCycles)
 		fmt.Printf("ifetch cost       %.3f cycles\n", s.IfetchCost())
 		fmt.Printf("sustained MIPS    %.2f @ %.0f MHz\n", s.SustainedMIPS(), core.ClockMHz)
+	}
+}
+
+// runScenario executes comma-separated built-in benchmarks as one
+// multiprogrammed scenario (internal/scenario) with the streaming
+// observability the flags ask for: -obs-stream tails trace events on the
+// scenario-global clock, -obs-window/-obs-window-out stream the per-context
+// windowed ledger. This is the production path for watching Icache pollution
+// and flush-refill cost evolve around context switches on multi-million
+// cycle runs under O(window) memory.
+func runScenario(list, specPath string, quantum int, policy, obsStream string, window int, windowOut string, breakdown bool, breakdownOut string) {
+	byName := make(map[string]tinyc.Benchmark)
+	for _, b := range tinyc.Benchmarks() {
+		byName[b.Name] = b
+	}
+	var programs []scenario.Program
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		b, ok := byName[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mipsx-run: unknown scenario benchmark %q (see internal/tinyc)\n", name)
+			os.Exit(2)
+		}
+		programs = append(programs, scenario.Program{Name: b.Name, Source: b.Source, Expect: b.Expect()})
+	}
+
+	ms := spec.Default()
+	if specPath != "" {
+		b, err := os.ReadFile(specPath)
+		if err != nil {
+			fail(err)
+		}
+		if ms, err = spec.Parse(b); err != nil {
+			fail(err)
+		}
+	}
+	scn := spec.DefaultScenario()
+	if ms.Scenario != nil {
+		scn = *ms.Scenario
+	}
+	if quantum > 0 {
+		scn.Quantum = quantum
+	}
+	if policy != "" {
+		scn.Policy = policy
+	}
+	scn.Window = window
+	ms.Scenario = &scn
+	if err := ms.Validate(); err != nil {
+		fail(err)
+	}
+	scheme, err := ms.Scheme()
+	if err != nil {
+		fail(err)
+	}
+
+	var opts scenario.RunOpts
+	if obsStream != "" {
+		f, err := os.Create(obsStream)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		opts.Tracer = &obs.Tracer{}
+		if err := opts.Tracer.StartStream(f, 0); err != nil {
+			fail(err)
+		}
+	}
+	var winStream *obs.WindowStreamWriter
+	if windowOut != "" {
+		f, err := os.Create(windowOut)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if winStream, err = obs.NewWindowStreamWriter(f, uint64(window)); err != nil {
+			fail(err)
+		}
+		opts.WindowEmit = winStream.Write
+	}
+
+	res, err := scenario.RunWith(programs, scheme, ms, opts)
+	if err != nil {
+		fail(err)
+	}
+	if opts.Tracer != nil {
+		if err := opts.Tracer.CloseStream(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "mipsx-run: streamed %d trace events to %s (0 dropped)\n",
+			opts.Tracer.Len(), obsStream)
+	}
+	if winStream != nil {
+		fmt.Fprintf(os.Stderr, "mipsx-run: streamed %d ledger windows (%d cycles each) to %s\n",
+			winStream.Count(), window, windowOut)
+	}
+
+	fmt.Printf("scenario %s: quantum %d, policy %s, switch cost %d\n",
+		list, scn.Quantum, scn.Policy, scn.SwitchCost)
+	for _, p := range res.Programs {
+		fmt.Printf("  %-14s %12d cycles %10d instructions\n", p.Name, p.Cycles, p.Instructions)
+	}
+	fmt.Printf("  %-14s %12d cycles (%d switches, %d switch cycles, %d flush stalls)\n",
+		"total", res.Cycles, res.Switches, res.SwitchCycles, res.FlushStalls)
+	fmt.Printf("  CPI %.4f over %d instructions\n", res.CPI(), res.Instructions)
+	if breakdownOut != "" {
+		b, err := res.Obs.Marshal()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(breakdownOut, b, 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if breakdown {
+		fmt.Print(res.Obs.DecompositionTable())
 	}
 }
 

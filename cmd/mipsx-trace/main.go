@@ -10,20 +10,33 @@
 //	mipsx-trace -profile fp -dump 50          # show the first 50 addresses
 //
 // The viz subcommand renders observability artifacts as CPI-decomposition
-// tables — either a single machine's attribution report (mipsx-run
-// -breakdown-out) or a whole bench document (mipsx-bench -json):
+// tables — a single machine's attribution report (mipsx-run -breakdown-out),
+// a whole bench document (mipsx-bench -json), a scenario sweep, or a
+// windowed-ledger time-series (mipsx-run -obs-window-out):
 //
 //	mipsx-trace viz breakdown.json
 //	mipsx-trace viz -cells BENCH_pr.json
 //	mipsx-trace viz SCENARIO_baseline.json    # per-cell pollution breakdown
+//	mipsx-trace viz windows.jsonl             # mipsx-obswin/v1 time-series
+//
+// -follow tails a live mipsx-obswin/v1 stream (a file still being written,
+// or a pipe) and re-renders a rolling CPI-decomposition table — plus the
+// per-context breakdown when the producer is a scenario run — as each
+// window closes:
+//
+//	mipsx-run -scenario bubblesort,sieve -obs-window 16384 -obs-window-out w.jsonl &
+//	mipsx-trace -follow w.jsonl
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/ecache"
 	"repro/internal/experiments"
@@ -39,6 +52,9 @@ func main() {
 		viz(os.Args[2:])
 		return
 	}
+	followPath := flag.String("follow", "", "tail a mipsx-obswin/v1 window stream and re-render the rolling CPI decomposition")
+	followOnce := flag.Bool("once", false, "with -follow: render what the stream holds now and exit instead of tailing")
+	followInterval := flag.Duration("interval", 250*time.Millisecond, "with -follow: poll interval while waiting for new windows")
 	profile := flag.String("profile", "pascal", "workload profile: pascal, lisp, fp")
 	codeKW := flag.Int("code-kwords", 0, "static code footprint in K words (0 = profile default)")
 	refs := flag.Int("refs", 300_000, "trace length in instruction references")
@@ -46,6 +62,13 @@ func main() {
 	penalty := flag.Int("penalty", 2, "Icache miss service cycles")
 	dump := flag.Int("dump", 0, "print the first N trace addresses and exit")
 	flag.Parse()
+
+	if *followPath != "" {
+		if err := follow(*followPath, *followInterval, *followOnce, os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	var cfg trace.SynthConfig
 	switch *profile {
@@ -112,11 +135,23 @@ func viz(args []string) {
 	if err != nil {
 		fail(err)
 	}
+	// A window stream is line-framed JSONL, not one JSON document — probe
+	// its first line before attempting a whole-file parse.
+	if first := firstLine(b); isWindowHeader(first) {
+		doc, err := obs.ParseWindowStream(bytes.NewReader(b))
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", fs.Arg(0), err))
+		}
+		if err := renderWindowDoc(doc, os.Stdout); err != nil {
+			fail(fmt.Errorf("%s: %w", fs.Arg(0), err))
+		}
+		return
+	}
 	var probe struct {
 		Schema string `json:"schema"`
 	}
 	if err := json.Unmarshal(b, &probe); err != nil {
-		fail(fmt.Errorf("%s: %w", fs.Arg(0), err))
+		fail(fmt.Errorf("%s: not a recognized observability document: %w", fs.Arg(0), err))
 	}
 	switch probe.Schema {
 	case obs.ReportSchema:
@@ -168,8 +203,180 @@ func viz(args []string) {
 			}
 		}
 	default:
-		fail(fmt.Errorf("%s: unrecognized schema %q (want %q, %q or %q)",
-			fs.Arg(0), probe.Schema, obs.ReportSchema, experiments.BenchSchema, experiments.ScenarioSchema))
+		fail(fmt.Errorf("%s: unrecognized schema %q (want %q, %q, %q or %q)",
+			fs.Arg(0), probe.Schema, obs.ReportSchema, experiments.BenchSchema,
+			experiments.ScenarioSchema, obs.WindowSchema))
+	}
+}
+
+// firstLine returns the bytes up to (not including) the first newline.
+func firstLine(b []byte) []byte {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		return b[:i]
+	}
+	return b
+}
+
+// isWindowHeader reports whether line is a mipsx-obswin/v1 stream header.
+func isWindowHeader(line []byte) bool {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	return json.Unmarshal(line, &probe) == nil && probe.Schema == obs.WindowSchema
+}
+
+// renderWindowDoc prints a windowed time-series: the per-window conservation
+// verdict, the cause evolution over windows, and the cumulative
+// decomposition. A conservation failure is an error — the caller exits
+// nonzero rather than printing a partial table as if it were sound.
+func renderWindowDoc(doc *obs.WindowDoc, w io.Writer) error {
+	if err := doc.Check(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "window stream: %d windows × %d cycles (%d cycles total)\n",
+		len(doc.Windows), doc.Window, doc.Total())
+	for i := range doc.Windows {
+		win := &doc.Windows[i]
+		fmt.Fprintf(w, "\n-- window %d (start %d, %d cycles) --\n", win.Index, win.Start, win.Cycles)
+		fmt.Fprint(w, windowReport(win).DecompositionTable())
+		writeContexts(w, win)
+	}
+	fmt.Fprintf(w, "\n-- cumulative --\n")
+	fmt.Fprint(w, attrTable(doc.CauseTotals(), doc.Total()).DecompositionTable())
+	return nil
+}
+
+// windowReport lifts one window into an obs report for the standard
+// decomposition renderer.
+func windowReport(win *obs.Window) *obs.Report {
+	rep := &obs.Report{Schema: obs.ReportSchema, Cycles: win.Cycles}
+	rep.Causes = append(rep.Causes, win.Causes...)
+	return rep
+}
+
+// writeContexts prints a window's per-context breakdown (scenario streams).
+func writeContexts(w io.Writer, win *obs.Window) {
+	for _, cs := range win.Contexts {
+		fmt.Fprintf(w, "  context %-14s %10d cycles:", cs.Context, cs.Cycles)
+		for _, c := range cs.Causes {
+			fmt.Fprintf(w, " %s=%d", c.Cause, c.Cycles)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// followState replays a window stream line by line, maintaining the rolling
+// cumulative attribution the live renderer shows. Separated from the I/O
+// loop so the parsing/rendering logic is testable on byte slices.
+type followState struct {
+	header  bool
+	size    uint64
+	windows uint64
+	cum     map[string]uint64
+	cycles  uint64
+	last    *obs.Window
+}
+
+// feedLine consumes one complete line (header first, then windows),
+// returning whether a new window was added.
+func (st *followState) feedLine(line []byte) (bool, error) {
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 {
+		return false, nil
+	}
+	if !st.header {
+		if !isWindowHeader(line) {
+			return false, fmt.Errorf("not a %s stream header: %s", obs.WindowSchema, line)
+		}
+		var h struct {
+			Window uint64 `json:"window"`
+		}
+		if err := json.Unmarshal(line, &h); err != nil {
+			return false, err
+		}
+		st.header = true
+		st.size = h.Window
+		st.cum = make(map[string]uint64)
+		return false, nil
+	}
+	var win obs.Window
+	if err := json.Unmarshal(line, &win); err != nil {
+		return false, fmt.Errorf("bad window line: %w", err)
+	}
+	if err := win.Check(); err != nil {
+		return false, err
+	}
+	for _, c := range win.Causes {
+		st.cum[c.Cause] += c.Cycles
+	}
+	st.cycles += win.Cycles
+	st.windows++
+	st.last = &win
+	return true, nil
+}
+
+// render prints the rolling view: the newest window's decomposition with its
+// per-context breakdown, then the cumulative table across all windows seen.
+func (st *followState) render(w io.Writer) {
+	if st.last == nil {
+		fmt.Fprintf(w, "waiting for windows (%d-cycle windows)\n", st.size)
+		return
+	}
+	fmt.Fprintf(w, "\n== window %d (start %d, %d cycles; %d windows, %d cycles so far) ==\n",
+		st.last.Index, st.last.Start, st.last.Cycles, st.windows, st.cycles)
+	fmt.Fprint(w, windowReport(st.last).DecompositionTable())
+	writeContexts(w, st.last)
+	fmt.Fprintf(w, "-- cumulative --\n")
+	fmt.Fprint(w, attrTable(st.cum, st.cycles).DecompositionTable())
+}
+
+// follow tails a window stream file or pipe: complete lines are consumed as
+// they appear (a trailing partial line waits for its newline), each closed
+// window re-renders the rolling view. With once, it renders the stream's
+// current state a single time and returns.
+func follow(path string, interval time.Duration, once bool, out io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st := &followState{}
+	buf := make([]byte, 64<<10)
+	var pending []byte
+	for {
+		n, rerr := f.Read(buf)
+		if n > 0 {
+			pending = append(pending, buf[:n]...)
+			for {
+				i := bytes.IndexByte(pending, '\n')
+				if i < 0 {
+					break
+				}
+				line := append([]byte(nil), pending[:i]...)
+				pending = pending[i+1:]
+				fresh, err := st.feedLine(line)
+				if err != nil {
+					return err
+				}
+				if fresh && !once {
+					st.render(out)
+				}
+			}
+		}
+		if rerr == io.EOF {
+			if once {
+				if !st.header {
+					return fmt.Errorf("%s: no window-stream header yet", path)
+				}
+				st.render(out)
+				return nil
+			}
+			time.Sleep(interval)
+			continue
+		}
+		if rerr != nil {
+			return rerr
+		}
 	}
 }
 

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+const sampleStream = `{"schema":"mipsx-obswin/v1","window":16}
+{"index":0,"start":0,"cycles":16,"causes":[{"cause":"execute","cycles":14},{"cause":"icache-miss","cycles":2}]}
+{"index":1,"start":16,"cycles":10,"causes":[{"cause":"execute","cycles":10}],"contexts":[{"context":"prog","cycles":10,"causes":[{"cause":"execute","cycles":10}]}]}
+`
+
+func TestFollowStateReplaysStream(t *testing.T) {
+	st := &followState{}
+	var fresh int
+	for _, line := range strings.Split(sampleStream, "\n") {
+		ok, err := st.feedLine([]byte(line))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			fresh++
+		}
+	}
+	if fresh != 2 || st.windows != 2 || st.cycles != 26 {
+		t.Fatalf("fresh=%d windows=%d cycles=%d, want 2/2/26", fresh, st.windows, st.cycles)
+	}
+	var out strings.Builder
+	st.render(&out)
+	s := out.String()
+	for _, want := range []string{"window 1", "2 windows, 26 cycles", "context prog", "cumulative", "conservation: sum(causes) == 26 cycles ok"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFollowStateRejectsBadStream(t *testing.T) {
+	st := &followState{}
+	if _, err := st.feedLine([]byte(`{"schema":"mipsx-obs/v1"}`)); err == nil {
+		t.Fatal("wrong-schema header must be rejected")
+	}
+	ok := &followState{}
+	if _, err := ok.feedLine([]byte(`{"schema":"mipsx-obswin/v1","window":16}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ok.feedLine([]byte(`{nope`)); err == nil {
+		t.Fatal("malformed window line must be rejected")
+	}
+	// A window violating per-window conservation fails loudly mid-stream.
+	if _, err := ok.feedLine([]byte(`{"index":0,"start":0,"cycles":9,"causes":[{"cause":"execute","cycles":5}]}`)); err == nil {
+		t.Fatal("non-conserving window must be rejected")
+	}
+}
+
+func TestIsWindowHeader(t *testing.T) {
+	if !isWindowHeader([]byte(`{"schema":"mipsx-obswin/v1","window":4}`)) {
+		t.Fatal("valid header not recognized")
+	}
+	for _, bad := range []string{`{"schema":"mipsx-obs/v1"}`, `not json`, ``} {
+		if isWindowHeader([]byte(bad)) {
+			t.Fatalf("non-header accepted: %q", bad)
+		}
+	}
+}
+
+func TestRenderWindowDocFailsOnViolation(t *testing.T) {
+	doc := &obs.WindowDoc{Schema: obs.WindowSchema, Window: 8, Windows: []obs.Window{
+		{Index: 0, Start: 0, Cycles: 8, Causes: []obs.CauseCycles{{Cause: "execute", Cycles: 5}}},
+	}}
+	var out strings.Builder
+	if err := renderWindowDoc(doc, &out); err == nil {
+		t.Fatal("renderWindowDoc must fail on a non-conserving stream")
+	}
+	if out.Len() != 0 {
+		t.Fatalf("no partial table may be printed on failure:\n%s", out.String())
+	}
+}

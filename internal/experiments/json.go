@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"runtime"
 	"time"
 )
@@ -62,6 +63,12 @@ type BenchDoc struct {
 	AttributedCycles     uint64 `json:"attributed_cycles"`
 	AttributionConserved bool   `json:"attribution_conserved"`
 
+	// DroppedEvents counts trace events bounded tracers rejected anywhere in
+	// the suite (Engine.AddDropped). Nonzero flags that some trace output of
+	// this run is truncated. omitempty: pre-existing documents and baselines
+	// are byte-identical.
+	DroppedEvents uint64 `json:"dropped_events,omitempty"`
+
 	// ObsOverhead, when measured (mipsx-bench -obs-overhead), records the
 	// wall-clock cost of each observation level against the unobserved
 	// machine.
@@ -93,6 +100,7 @@ func NewBenchDoc(tables []*Table, perExp []time.Duration, wall time.Duration, pa
 		MemoMisses:           e.MemoMisses(),
 		CellTimings:          e.Timings(),
 		Attribution:          e.Attribution(),
+		DroppedEvents:        e.Dropped(),
 	}
 	for _, v := range doc.Attribution {
 		doc.AttributedCycles += v
@@ -132,11 +140,15 @@ func (d *BenchDoc) Marshal() ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// ParseBenchDoc reads a report written by Marshal.
+// ParseBenchDoc reads a report written by Marshal, rejecting other schemas
+// so a mis-pointed file fails loudly instead of producing a zeroed report.
 func ParseBenchDoc(b []byte) (*BenchDoc, error) {
 	var d BenchDoc
 	if err := json.Unmarshal(b, &d); err != nil {
 		return nil, err
+	}
+	if d.Schema != BenchSchema {
+		return nil, fmt.Errorf("not a bench document (schema %q, want %q)", d.Schema, BenchSchema)
 	}
 	return &d, nil
 }

@@ -11,6 +11,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/core"
@@ -178,5 +179,45 @@ func TestMeasureObsOverhead(t *testing.T) {
 	}
 	if o.Benchmark == "" || o.Iterations != 2 {
 		t.Fatalf("bad metadata: %+v", o)
+	}
+}
+
+// TestObsOverheadBudget enforces the documented observability budget: the
+// always-on ledger — windowed or not — must stay cheap relative to an
+// unobserved run. The documented figure is ~3%; the gate allows 15% so a
+// noisy shared CI runner cannot flake it while a regression that made the
+// ledger hot-path allocate or lock would still trip it. Wall-clock-sensitive
+// and therefore opt-in: run with OBS_BUDGET=1 (make stream-gate does).
+func TestObsOverheadBudget(t *testing.T) {
+	if os.Getenv("OBS_BUDGET") == "" {
+		t.Skip("timing-sensitive; set OBS_BUDGET=1 to run")
+	}
+	o, err := MeasureObsOverhead(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(o.String())
+	// Absolute backstop: the documented figure is ~3% on the reference box,
+	// but shared runners measure anywhere from ~5% to ~15% run to run, so
+	// the hard gate sits at 30% — loose enough never to flake on noise,
+	// tight enough that a hot-path regression (an allocation or lock per
+	// ledger charge lands in the hundreds of percent, like the tracer's
+	// +3000%) cannot pass.
+	const limit = 30.0
+	if o.LedgerPct > limit {
+		t.Errorf("ledger overhead %.1f%% exceeds the %.0f%% budget backstop (documented ~3%%)", o.LedgerPct, limit)
+	}
+	if o.WindowedPct > limit {
+		t.Errorf("windowed-ledger overhead %.1f%% exceeds the %.0f%% budget backstop (documented ~3%%)", o.WindowedPct, limit)
+	}
+	// Incremental gate on what windowing adds over the plain ledger: the
+	// charge path is two array writes and a bounds check, so windowed time
+	// must stay within 35% of ledger time (measured increment: ~2-5%).
+	if o.WindowedMS > o.LedgerMS*1.35 {
+		t.Errorf("windowed ledger %.1fms is more than 1.35x the plain ledger's %.1fms — windowing hot path regressed",
+			o.WindowedMS, o.LedgerMS)
+	}
+	if o.DroppedEvents != 0 {
+		t.Errorf("overhead harness dropped %d trace events", o.DroppedEvents)
 	}
 }

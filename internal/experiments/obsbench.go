@@ -24,14 +24,22 @@ type ObsOverhead struct {
 	Iterations int     `json:"iterations"`
 	BaselineMS float64 `json:"baseline_ms"`
 	LedgerMS   float64 `json:"ledger_ms"`
-	TracerMS   float64 `json:"tracer_ms"`
-	LedgerPct  float64 `json:"ledger_overhead_pct"`
-	TracerPct  float64 `json:"tracer_overhead_pct"`
+	// WindowedMS times the ledger with a windowed ledger attached (16K-cycle
+	// windows streamed to io.Discard) — the configuration a live-observed
+	// long run pays for.
+	WindowedMS  float64 `json:"windowed_ms"`
+	TracerMS    float64 `json:"tracer_ms"`
+	LedgerPct   float64 `json:"ledger_overhead_pct"`
+	WindowedPct float64 `json:"windowed_overhead_pct"`
+	TracerPct   float64 `json:"tracer_overhead_pct"`
+	// DroppedEvents counts trace events the tracer level's bounded buffer
+	// rejected — nonzero means the tracer timing covered truncated traces.
+	DroppedEvents uint64 `json:"dropped_events,omitempty"`
 }
 
 func (o *ObsOverhead) String() string {
-	return fmt.Sprintf("obs overhead over %s ×%d: baseline %.1fms, ledger %.1fms (%+.1f%%), tracer %.1fms (%+.1f%%)",
-		o.Benchmark, o.Iterations, o.BaselineMS, o.LedgerMS, o.LedgerPct, o.TracerMS, o.TracerPct)
+	return fmt.Sprintf("obs overhead over %s ×%d: baseline %.1fms, ledger %.1fms (%+.1f%%), windowed %.1fms (%+.1f%%), tracer %.1fms (%+.1f%%)",
+		o.Benchmark, o.Iterations, o.BaselineMS, o.LedgerMS, o.LedgerPct, o.WindowedMS, o.WindowedPct, o.TracerMS, o.TracerPct)
 }
 
 // MeasureObsOverhead times iters complete runs of the bubblesort benchmark
@@ -75,15 +83,33 @@ func MeasureObsOverhead(iters int) (*ObsOverhead, error) {
 	if o.LedgerMS, err = measure(func(m *core.Machine) { m.Observe(obs.NewMachineSink()) }); err != nil {
 		return nil, err
 	}
-	if o.TracerMS, err = measure(func(m *core.Machine) {
+	if o.WindowedMS, err = measure(func(m *core.Machine) {
 		s := obs.NewMachineSink()
-		s.Tracer = &obs.Tracer{Instrs: true}
+		win := obs.NewWindowedLedger(obs.MachineCauseNames, 16384)
+		win.OnWindow(func(*obs.Window) error { return nil })
+		s.Ledger.AttachWindows(win)
 		m.Observe(s)
 	}); err != nil {
 		return nil, err
 	}
+	// Each iteration's tracer is drained for dropped events when the next
+	// iteration attaches (and once more after the loop, for the last one).
+	var lastTr *obs.Tracer
+	if o.TracerMS, err = measure(func(m *core.Machine) {
+		if lastTr != nil {
+			o.DroppedEvents += lastTr.Dropped()
+		}
+		s := obs.NewMachineSink()
+		lastTr = &obs.Tracer{Instrs: true}
+		s.Tracer = lastTr
+		m.Observe(s)
+	}); err != nil {
+		return nil, err
+	}
+	o.DroppedEvents += lastTr.Dropped()
 	if o.BaselineMS > 0 {
 		o.LedgerPct = 100 * (o.LedgerMS - o.BaselineMS) / o.BaselineMS
+		o.WindowedPct = 100 * (o.WindowedMS - o.BaselineMS) / o.BaselineMS
 		o.TracerPct = 100 * (o.TracerMS - o.BaselineMS) / o.BaselineMS
 	}
 	return o, nil

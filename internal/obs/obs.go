@@ -122,6 +122,12 @@ type Ledger struct {
 	// (see internal/icache), so the ledger must not also count that time
 	// as a data-side Ecache stall.
 	ifetchDepth int
+
+	// win, when attached, mirrors every resolved charge into fixed-size
+	// cycle windows (window.go). It sees the post-resolution (cause, n)
+	// stream — after the ifetch re-attribution and bus-wait split — so the
+	// windowed view decomposes exactly like the flat counts.
+	win *WindowedLedger
 }
 
 // NewLedger builds a ledger over an arbitrary cause-name schema.
@@ -138,6 +144,9 @@ func (l *Ledger) Add(cause Cause, n uint64) {
 		return
 	}
 	l.counts[cause] += n
+	if l.win != nil {
+		l.win.charge(cause, n)
+	}
 }
 
 // Stall charges a stall of n cycles to cause, with wait of those cycles
@@ -157,6 +166,32 @@ func (l *Ledger) Stall(cause Cause, n, wait uint64) {
 	}
 	l.counts[CauseBusWait] += wait
 	l.counts[cause] += n - wait
+	if l.win != nil {
+		l.win.charge(CauseBusWait, wait)
+		l.win.charge(cause, n-wait)
+	}
+}
+
+// AttachWindows mirrors subsequent charges into w (nil detaches). Attach
+// before the run starts: the windowed timeline covers only charges made
+// while attached. Nil-safe.
+func (l *Ledger) AttachWindows(w *WindowedLedger) {
+	if l != nil {
+		l.win = w
+	}
+}
+
+// Windowed reports whether a windowed ledger is attached — the simulator's
+// fast tier switches from bulk to per-cycle charging when it is, so bulk
+// charges cannot smear across window boundaries. Nil-safe.
+func (l *Ledger) Windowed() bool { return l != nil && l.win != nil }
+
+// Windows returns the attached windowed ledger, or nil.
+func (l *Ledger) Windows() *WindowedLedger {
+	if l == nil {
+		return nil
+	}
+	return l.win
 }
 
 // BeginIFetch/EndIFetch bracket Icache miss service so that backing-store
@@ -291,11 +326,12 @@ func (s *Sink) Report(cycles, instructions uint64) *Report {
 		return nil
 	}
 	return &Report{
-		Schema:       ReportSchema,
-		Cycles:       cycles,
-		Instructions: instructions,
-		Causes:       s.Ledger.Causes(),
-		Counters:     s.Reg.Snapshot(),
+		Schema:        ReportSchema,
+		Cycles:        cycles,
+		Instructions:  instructions,
+		Causes:        s.Ledger.Causes(),
+		Counters:      s.Reg.Snapshot(),
+		DroppedEvents: s.Tracer.Dropped(),
 	}
 }
 
@@ -317,6 +353,10 @@ type Report struct {
 	Instructions uint64        `json:"instructions,omitempty"`
 	Causes       []CauseCycles `json:"causes"`
 	Counters     []Counter     `json:"counters,omitempty"`
+	// DroppedEvents surfaces trace truncation: events the bounded tracer
+	// rejected after its buffer filled. Nonzero means the trace file is
+	// incomplete (stream the trace instead; streaming never drops).
+	DroppedEvents uint64 `json:"dropped_events,omitempty"`
 }
 
 // Marshal renders the report as indented JSON with a trailing newline

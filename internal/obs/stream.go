@@ -1,0 +1,153 @@
+package obs
+
+// Chunked trace streaming: the Tracer's writer mode. A streaming tracer
+// serializes each event as it is recorded and hands it to an io.Writer in
+// framed chunks instead of buffering up to MaxEvents, so a trace of an
+// arbitrarily long run costs O(chunk) memory and drops nothing.
+//
+// On-disk stream format (documented in DESIGN.md §15): the bytes are exactly
+// the Chrome trace-event JSON object WriteJSON produces —
+//
+//	{"displayTimeUnit":"ns","traceEvents":[
+//	<metadata event>,
+//	<event>,
+//	...
+//	<event>
+//	]}
+//
+// — one complete JSON event per line, comma-terminated except the last,
+// closed by CloseStream. The line framing is the streaming contract: every
+// line except the open/close braces is a self-contained JSON object, so a
+// reader tailing a live (still-unclosed) stream parses it line by line,
+// stripping the trailing comma. Byte-for-byte equality with the buffered
+// WriteJSON output is enforced by `make stream-gate`.
+//
+// The one-event lag is what makes incremental emission byte-identical: the
+// last element must not carry a comma, and which event is last is unknown
+// until CloseStream, so each emit writes the *previous* event (with its
+// comma) and holds the newest back.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DefaultStreamChunk is the flush interval in events for a streaming tracer
+// whose chunk size is unset: the underlying writer is flushed every chunk so
+// a live reader (mipsx-trace -follow, a pipe) sees progress while the
+// simulation runs, without paying a syscall per event.
+const DefaultStreamChunk = 512
+
+// traceStream is the incremental emitter behind a Tracer's streaming mode.
+type traceStream struct {
+	w       *bufio.Writer
+	pending []byte // the last serialized item, held back for comma framing
+	chunk   int    // events per flush frame
+	n       int    // events since the last flush
+	err     error  // first write/marshal error; emission stops after it
+}
+
+// emit serializes one item (metadata or event) into the stream, releasing
+// the previously held item with its comma separator.
+func (s *traceStream) emit(ev any) {
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if s.pending != nil {
+		if err := s.writePending(false); err != nil {
+			return
+		}
+	}
+	s.pending = b
+}
+
+// writePending writes the held item, comma-terminated unless it is the
+// stream's last, and flushes at chunk boundaries.
+func (s *traceStream) writePending(last bool) error {
+	if _, err := s.w.Write(s.pending); err != nil {
+		s.err = err
+		return err
+	}
+	line := []byte{',', '\n'}
+	if last {
+		line = line[1:]
+	}
+	if _, err := s.w.Write(line); err != nil {
+		s.err = err
+		return err
+	}
+	s.pending = nil
+	if s.n++; s.n >= s.chunk {
+		s.n = 0
+		if err := s.w.Flush(); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// StartStream switches the tracer into streaming mode: every subsequent
+// event is serialized to w as it is recorded, in chunks of chunkEvents
+// events per flush (0 means DefaultStreamChunk). It must be called before
+// any event is recorded; the header and track metadata are written
+// immediately. The caller must call CloseStream when the run ends to write
+// the held-back final event and the closing frame.
+func (t *Tracer) StartStream(w io.Writer, chunkEvents int) error {
+	if t.stream != nil {
+		return fmt.Errorf("obs: tracer is already streaming")
+	}
+	if len(t.events) > 0 {
+		return fmt.Errorf("obs: StartStream after %d events were buffered; start the stream before the run", len(t.events))
+	}
+	if chunkEvents <= 0 {
+		chunkEvents = DefaultStreamChunk
+	}
+	s := &traceStream{w: bufio.NewWriter(w), chunk: chunkEvents}
+	if _, err := io.WriteString(s.w, traceHeader); err != nil {
+		return err
+	}
+	for _, m := range traceMetas() {
+		s.emit(m)
+	}
+	if s.err != nil {
+		return s.err
+	}
+	t.stream = s
+	return nil
+}
+
+// Streaming reports whether the tracer is in streaming mode.
+func (t *Tracer) Streaming() bool { return t != nil && t.stream != nil }
+
+// CloseStream writes the final held-back event without a trailing comma,
+// closes the JSON frame and flushes. It returns the first error the stream
+// hit (a partial file is detectable: it lacks the closing frame). The
+// tracer leaves streaming mode; call it only after the run has halted —
+// events recorded afterwards fall back to the bounded buffer.
+func (t *Tracer) CloseStream() error {
+	s := t.stream
+	if s == nil {
+		return fmt.Errorf("obs: tracer is not streaming")
+	}
+	t.stream = nil
+	if s.err != nil {
+		return s.err
+	}
+	if s.pending != nil {
+		if err := s.writePending(true); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(s.w, traceFooter); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}

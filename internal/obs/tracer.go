@@ -48,6 +48,12 @@ type Event struct {
 // once MaxEvents is reached further events are counted as dropped rather
 // than buffered, so tracing a long run cannot exhaust memory. Methods are
 // nil-safe; a nil *Tracer records nothing.
+//
+// StartStream switches the tracer into streaming mode (see stream.go):
+// events are serialized to an io.Writer as they occur instead of buffered,
+// the MaxEvents bound no longer applies and Dropped stays zero on
+// arbitrarily long runs. The streamed bytes are identical to what a
+// buffered WriteJSON of the same events would produce.
 type Tracer struct {
 	// MaxEvents bounds the buffer; 0 means DefaultMaxEvents.
 	MaxEvents int
@@ -59,12 +65,23 @@ type Tracer struct {
 	events  []Event
 	dropped uint64
 	lane    uint64
+
+	// stream, when non-nil, replaces the event buffer with incremental
+	// chunked emission (StartStream/CloseStream, stream.go); emitted counts
+	// the events handed to it.
+	stream  *traceStream
+	emitted uint64
 }
 
 // DefaultMaxEvents bounds a tracer whose MaxEvents is unset (~1M events).
 const DefaultMaxEvents = 1 << 20
 
 func (t *Tracer) add(ev Event) {
+	if t.stream != nil {
+		t.stream.emit(&ev)
+		t.emitted++
+		return
+	}
 	limit := t.MaxEvents
 	if limit <= 0 {
 		limit = DefaultMaxEvents
@@ -89,10 +106,9 @@ func (t *Tracer) Instant(tid int, cat, name string, ts uint64, args map[string]s
 	if t == nil {
 		return
 	}
-	t.add(Event{Name: name, Cat: cat, Ph: "i", Ts: ts, Pid: 1, Tid: tid, S: "t"})
-	if args != nil {
-		t.events[len(t.events)-1].Args = args
-	}
+	// Args is attached before add so the streaming path serializes the
+	// complete event; a nil map marshals away under omitempty either way.
+	t.add(Event{Name: name, Cat: cat, Ph: "i", Ts: ts, Pid: 1, Tid: tid, S: "t", Args: args})
 }
 
 // PipeSpan records one instruction's pipeline occupancy from fetch to
@@ -111,13 +127,13 @@ func (t *Tracer) PipeSpan(name string, start, end uint64, args map[string]string
 	t.add(Event{Name: name, Cat: "pipe", Ph: "X", Ts: start, Dur: dur, Pid: 1, Tid: tid, Args: args})
 }
 
-// Len reports the number of buffered events; Dropped the number rejected
-// after the buffer filled.
+// Len reports the number of events recorded: buffered events plus any
+// emitted to a stream (the count survives CloseStream).
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
-	return len(t.events)
+	return int(t.emitted) + len(t.events)
 }
 
 // Dropped reports events rejected after the buffer filled.
@@ -128,11 +144,43 @@ func (t *Tracer) Dropped() uint64 {
 	return t.dropped
 }
 
+// traceHeader/traceFooter frame the Chrome trace-event JSON object; events
+// sit between them one per line. Shared by WriteJSON and the streaming path
+// so the two serializations are byte-identical.
+const (
+	traceHeader = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
+	traceFooter = "]}\n"
+)
+
+// traceMeta is a metadata event naming the process or a track.
+type traceMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// traceMetas returns the fixed metadata preamble every trace starts with.
+func traceMetas() []traceMeta {
+	metas := []traceMeta{{Name: "process_name", Ph: "M", Pid: 1, Tid: 0, Args: map[string]string{"name": "mipsx-sim"}}}
+	for lane := 0; lane < PipeLanes; lane++ {
+		metas = append(metas, traceMeta{Name: "thread_name", Ph: "M", Pid: 1, Tid: TrackPipeBase + lane,
+			Args: map[string]string{"name": fmt.Sprintf("pipe-%d", lane)}})
+	}
+	for _, tid := range []int{TrackIcache, TrackEcache, TrackCoproc, TrackMarks} {
+		metas = append(metas, traceMeta{Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]string{"name": trackNames[tid]}})
+	}
+	return metas
+}
+
 // WriteJSON serializes the trace in Chrome trace-event JSON object format:
 // metadata events naming the process and tracks, then every buffered event
 // in record order. Output is deterministic for a deterministic simulation.
+// A streaming tracer's events are not buffered here — use CloseStream.
 func (t *Tracer) WriteJSON(w io.Writer) error {
-	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+	if _, err := io.WriteString(w, traceHeader); err != nil {
 		return err
 	}
 	enc := func(ev any, last bool) error {
@@ -147,22 +195,7 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		_, err = w.Write(b)
 		return err
 	}
-	type meta struct {
-		Name string            `json:"name"`
-		Ph   string            `json:"ph"`
-		Pid  int               `json:"pid"`
-		Tid  int               `json:"tid"`
-		Args map[string]string `json:"args"`
-	}
-	metas := []meta{{Name: "process_name", Ph: "M", Pid: 1, Tid: 0, Args: map[string]string{"name": "mipsx-sim"}}}
-	for lane := 0; lane < PipeLanes; lane++ {
-		metas = append(metas, meta{Name: "thread_name", Ph: "M", Pid: 1, Tid: TrackPipeBase + lane,
-			Args: map[string]string{"name": fmt.Sprintf("pipe-%d", lane)}})
-	}
-	for _, tid := range []int{TrackIcache, TrackEcache, TrackCoproc, TrackMarks} {
-		metas = append(metas, meta{Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
-			Args: map[string]string{"name": trackNames[tid]}})
-	}
+	metas := traceMetas()
 	n := 0
 	if t != nil {
 		n = len(t.events)
@@ -179,6 +212,6 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 			}
 		}
 	}
-	_, err := io.WriteString(w, "]}\n")
+	_, err := io.WriteString(w, traceFooter)
 	return err
 }

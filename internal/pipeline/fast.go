@@ -618,6 +618,15 @@ func (c *CPU) runFast() int {
 	dirty, dLo, dHi := t.dirty, t.dLo, t.dHi
 	probe := c.imemProbe
 	prof, trace, btrace := c.Prof, c.Trace, c.BranchTrace
+	// A windowed ledger needs charges in cycle order so each lands in the
+	// right window: base causes are then charged per retirement inside the
+	// loop (mirroring attributeWB) instead of in bulk at exit, which would
+	// smear a whole run's execute/nop cycles into the final window. Data
+	// stalls already charge in order through the DMem port either way.
+	var winLed *obs.Ledger
+	if o := c.Obs; o != nil && o.Ledger.Windowed() {
+		winLed = o.Ledger
+	}
 	var steps, stalls, execs, nops uint64
 	var loads, stores uint64
 	var branches, takenBr, jumps uint64
@@ -643,8 +652,10 @@ func (c *CPU) runFast() int {
 		wop := rops[i&3]
 		if wop.isNop {
 			nops++
+			winLed.Add(obs.CauseNop, 1) // nil-safe; nil unless windowed
 		} else {
 			execs++
+			winLed.Add(obs.CauseExecute, 1)
 		}
 		if prof != nil {
 			prof.NoteWB(uint32(w.pc))
@@ -1004,7 +1015,7 @@ func (c *CPU) runFast() int {
 	c.Stats.BranchCmpSign += cmpSignN
 	c.Stats.BranchSlotNops += slotNops
 	c.Stats.BranchWasted += wasted
-	if o := c.Obs; o != nil {
+	if o := c.Obs; o != nil && winLed == nil {
 		o.Ledger.Add(obs.CauseExecute, execs)
 		o.Ledger.Add(obs.CauseNop, nops)
 	}

@@ -93,6 +93,12 @@ type Result struct {
 	// Obs is the shared-ledger attribution report over the whole scenario.
 	Obs *obs.Report `json:"obs"`
 
+	// Windows is the mipsx-obswin/v1 time-series when the spec requests
+	// windowed aggregation (ScenarioSpec.Window > 0) and no streaming
+	// emitter consumed the windows. omitempty: windowless runs — every
+	// pre-existing baseline — serialize exactly as before.
+	Windows *obs.WindowDoc `json:"windows,omitempty"`
+
 	// Shared-hierarchy counters, for the pollution analysis.
 	IcacheMisses  uint64 `json:"icache_misses"`
 	IcacheFetches uint64 `json:"icache_fetches"`
@@ -138,12 +144,31 @@ func Images(programs []Program, scheme reorg.Scheme) ([]*asm.Image, error) {
 	return ims, nil
 }
 
+// RunOpts attaches streaming observability to a scenario run. The zero value
+// runs unobserved (beyond the always-on shared ledger).
+type RunOpts struct {
+	// WindowEmit, when set (and the spec's ScenarioSpec.Window > 0),
+	// receives each ledger window as it closes instead of retaining the
+	// time-series in Result.Windows — O(window) memory on arbitrarily long
+	// runs. Typically a WindowStreamWriter's Write.
+	WindowEmit func(*obs.Window) error
+	// Tracer, when set, records the scenario's pipeline/cache events on a
+	// scenario-global clock (cycles across all contexts and switch-time
+	// work). Start it streaming first for bounded memory.
+	Tracer *obs.Tracer
+}
+
 // Run executes the programs as one multiprogrammed scenario on a machine
 // realized from ms (whose Scenario field must be set; the branch scheme must
 // match the toolchain scheme the programs are compiled with). It returns a
 // conservation-verified result; determinism is total — the same programs and
 // spec produce a byte-identical Result.
 func Run(programs []Program, scheme reorg.Scheme, ms spec.MachineSpec) (*Result, error) {
+	return RunWith(programs, scheme, ms, RunOpts{})
+}
+
+// RunWith is Run with streaming observability attached.
+func RunWith(programs []Program, scheme reorg.Scheme, ms spec.MachineSpec, opts RunOpts) (*Result, error) {
 	scn := ms.Scenario
 	if scn == nil {
 		return nil, fmt.Errorf("scenario: spec has no scenario block")
@@ -166,6 +191,40 @@ func Run(programs []Program, scheme reorg.Scheme, ms spec.MachineSpec) (*Result,
 	sink := obs.NewMachineSink()
 	host.ICache.Obs = sink
 	host.ECache.Obs = sink
+
+	// Windowed aggregation: every charge into the shared ledger is keyed to
+	// the context that was running (or "scheduler" for switch-time work) and
+	// folded into Window-sized slices of the scenario timeline. Contexts are
+	// registered up front so breakdown row order follows program order, not
+	// scheduling order.
+	var win *obs.WindowedLedger
+	if scn.Window > 0 {
+		win = obs.NewWindowedLedger(obs.MachineCauseNames, uint64(scn.Window))
+		for _, p := range programs {
+			win.Register(p.Name)
+		}
+		win.Register(schedulerContext)
+		if opts.WindowEmit != nil {
+			win.OnWindow(opts.WindowEmit)
+		}
+		sink.Ledger.AttachWindows(win)
+	}
+
+	// Tracing: timestamps come from a scenario-global clock — the cycles all
+	// contexts have executed so far plus the in-flight quantum's progress —
+	// so events from successive quanta land on one monotonic timeline.
+	var clockBase uint64
+	var clockCPU *core.Machine
+	var clockStart uint64
+	if opts.Tracer != nil {
+		sink.Tracer = opts.Tracer
+		sink.Now = func() uint64 {
+			if clockCPU == nil {
+				return clockBase
+			}
+			return clockBase + (clockCPU.CPU.Stats.Cycles - clockStart)
+		}
+	}
 
 	ims, err := Images(programs, scheme)
 	if err != nil {
@@ -194,6 +253,9 @@ func Run(programs []Program, scheme reorg.Scheme, ms spec.MachineSpec) (*Result,
 	// current process ID.
 	switchTo := func(next int) {
 		res.Switches++
+		if win != nil {
+			win.SetContext(schedulerContext) // switch-time charges are the scheduler's
+		}
 		switch scn.Policy {
 		case spec.PolicyFlush:
 			host.ICache.Flush()
@@ -214,7 +276,13 @@ func Run(programs []Program, scheme reorg.Scheme, ms spec.MachineSpec) (*Result,
 	host.ICache.SetPID(0)
 	cur := 0
 	for remaining > 0 {
+		if win != nil {
+			win.SetContext(programs[cur].Name)
+		}
+		clockCPU, clockStart = ctxs[cur], ctxs[cur].CPU.Stats.Cycles
 		n, done, err := ctxs[cur].RunQuantum(uint64(scn.Quantum))
+		clockBase += n
+		clockCPU = nil
 		results[cur].Cycles += n
 		res.Cycles += n
 		if err != nil {
@@ -238,7 +306,9 @@ func Run(programs []Program, scheme reorg.Scheme, ms spec.MachineSpec) (*Result,
 			}
 		}
 		if next != cur {
+			before := res.SwitchCycles + res.FlushStalls
 			switchTo(next)
+			clockBase += res.SwitchCycles + res.FlushStalls - before
 			cur = next
 		}
 	}
@@ -259,11 +329,25 @@ func Run(programs []Program, scheme reorg.Scheme, ms spec.MachineSpec) (*Result,
 	res.EcacheWBs = host.ECache.Stats.WriteBacks
 	res.Obs = sink.Report(res.Cycles, res.Instructions)
 
+	if win != nil {
+		win.Flush()
+		if err := win.Err(); err != nil {
+			return nil, fmt.Errorf("scenario: window emission: %w", err)
+		}
+		if opts.WindowEmit == nil {
+			res.Windows = win.Doc()
+		}
+	}
+
 	if err := verify(res, ctxs, host, sink); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
+
+// schedulerContext keys switch-time ledger charges (the software switch
+// overhead and flush write-backs) in the per-context window breakdown.
+const schedulerContext = "scheduler"
 
 // verify extends the single-machine attribution invariants to the scenario:
 // the shared ledger must conserve against the scenario total, the cache
@@ -309,6 +393,24 @@ func verify(r *Result, ctxs []*core.Machine, host *core.Machine, sink *obs.Sink)
 	}
 	if r.Policy == spec.PolicyPID && (cs != 0 || fr != 0) {
 		return fmt.Errorf("scenario: pid policy charged switch causes (%d/%d); both must stay zero", cs, fr)
+	}
+	// Windowed runs: conservation must also hold per window, and the
+	// time-series must fold back to exactly the flat ledger. (Streaming
+	// runs check per-window conservation at rollover instead — the windows
+	// are not retained here.)
+	if d := r.Windows; d != nil {
+		if err := d.Check(); err != nil {
+			return err
+		}
+		if got := d.Total(); got != l.Total() {
+			return fmt.Errorf("scenario: windows total %d != ledger total %d", got, l.Total())
+		}
+		want := l.Map()
+		for cause, n := range d.CauseTotals() {
+			if want[cause] != n {
+				return fmt.Errorf("scenario: windowed cause %q = %d, ledger has %d", cause, n, want[cause])
+			}
+		}
 	}
 	return nil
 }
